@@ -1,0 +1,377 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VII) on the scaled-down suites of DESIGN.md.
+
+   Usage:
+     bench/main.exe [section ...] [--timeout S] [--per-setting N] [--full]
+
+   Sections: table1-ncf table1-fpv table1-dia table1-eval
+             fig3 fig4 fig5 fig6 fig7 micro all (default: all)
+
+   Absolute run times differ from the paper's 2006 testbed; the shapes
+   (who wins, by what factor, how scaling behaves) are the reproduction
+   target.  See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+module ST = Qbf_solver.Solver_types
+module B = Qbf_bench.Runner
+module T1 = Qbf_bench.Table1
+module Rep = Qbf_bench.Report
+module Suites = Qbf_bench.Suites
+
+type opts = {
+  timeout : float;
+  per_setting : int;
+  fpv_count : int;
+  eval_count : int;
+  full : bool;
+}
+
+let default_opts =
+  { timeout = 3.; per_setting = 6; fpv_count = 40; eval_count = 12; full = false }
+
+let rng () = Qbf_gen.Rng.create 20060406 (* DATE 2006 *)
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+(* ---------- Table I ----------------------------------------------------- *)
+
+let eps_of o = Float.max 0.005 (o.timeout /. 600.)
+
+let run_table1_rows o ~label instances =
+  let budget = B.budget o.timeout in
+  let results = List.map (B.run_instance budget) instances in
+  (results, T1.of_results ~label ~eps:(eps_of o) results)
+
+let print_rows rows =
+  print_endline
+    (Rep.render_table T1.header (List.map T1.to_cells rows))
+
+let table1_ncf o =
+  section "Table I, rows 1-4: NCF vs the four prenexing strategies";
+  let settings = Suites.ncf_settings () in
+  let instances =
+    Suites.ncf_suite (rng ()) ~per_setting:o.per_setting ~settings
+  in
+  Printf.printf "%d instances (%d settings x %d), timeout %.1fs\n%!"
+    (List.length instances) (List.length settings) o.per_setting o.timeout;
+  let _, rows = run_table1_rows o ~label:"NCF" instances in
+  print_rows rows
+
+let table1_fpv o =
+  section "Table I, row 5: FPV";
+  let instances = Suites.fpv_suite (rng ()) ~count:o.fpv_count in
+  Printf.printf "%d instances, timeout %.1fs\n%!" (List.length instances)
+    o.timeout;
+  let _, rows = run_table1_rows o ~label:"FPV" instances in
+  print_rows rows
+
+let table1_dia o =
+  section "Table I, row 6: DIA (diameter QBFs of the NuSMV-style models)";
+  let models =
+    if o.full then
+      Suites.dia_models ~counter_bits:[ 2; 3; 4 ] ~semaphore_procs:[ 2; 3; 4 ]
+        ~ring_gates:[ 3; 4; 5 ] ~dme_cells:[ 2; 3; 4 ] ()
+    else Suites.dia_models ()
+  in
+  let instances = Suites.dia_suite ~cap:(if o.full then 10 else 6) models in
+  Printf.printf "%d instances, timeout %.1fs\n%!" (List.length instances)
+    o.timeout;
+  let _, rows = run_table1_rows o ~label:"DIA" instances in
+  print_rows rows
+
+let table1_eval o =
+  section "Table I, rows 7-8: PROB and FIXED (miniscoped, PO/TO > 20%)";
+  let prob = Suites.prob_suite (rng ()) ~count:o.eval_count in
+  let fixed = Suites.fixed_suite (rng ()) ~count:o.eval_count in
+  Printf.printf "PROB: %d instances pass the filter; FIXED: %d\n%!"
+    (List.length prob) (List.length fixed);
+  let _, prob_rows = run_table1_rows o ~label:"PROB" prob in
+  let _, fixed_rows = run_table1_rows o ~label:"FIXED" fixed in
+  print_rows (prob_rows @ fixed_rows)
+
+(* ---------- Figures ------------------------------------------------------ *)
+
+(* Figure 3: median QuBE(PO) vs the virtual best QuBE(TO)* over the four
+   strategies, one point per NCF parameter setting. *)
+let fig3 o =
+  section "Figure 3: QUBE(TO)* vs QUBE(PO) on NCF (medians per setting)";
+  let budget = B.budget o.timeout in
+  let settings = Suites.ncf_settings () in
+  let r = rng () in
+  let points =
+    List.map
+      (fun s ->
+        let insts = List.init o.per_setting (Suites.ncf_instance r s) in
+        let results = List.map (B.run_instance budget) insts in
+        let po_med =
+          Rep.median (List.map (fun x -> x.B.po_run.B.time) results)
+        in
+        let to_star_med =
+          Rep.median
+            (List.map
+               (fun x ->
+                 List.fold_left
+                   (fun best (_, run) -> Float.min best run.B.time)
+                   infinity x.B.to_runs)
+               results)
+        in
+        (s, po_med, to_star_med))
+      settings
+  in
+  print_endline
+    (Rep.render_table
+       [ "setting"; "PO median (s)"; "TO* median (s)"; "winner" ]
+       (List.map
+          (fun ((s : Suites.ncf_setting), po, ts) ->
+            [
+              Printf.sprintf "v%d r%.1f l%d" s.Suites.var s.Suites.ratio
+                s.Suites.lpc;
+              Printf.sprintf "%.3f" po;
+              Printf.sprintf "%.3f" ts;
+              (if po < ts then "PO" else if ts < po then "TO*" else "=");
+            ])
+          points));
+  print_endline
+    (Rep.ascii_scatter ~timeout_s:o.timeout
+       (List.map (fun (_, po, ts) -> (po, ts)) points))
+
+let scatter_of_results ~label o results =
+  print_endline
+    (Rep.render_table
+       [ "instance"; "PO (s)"; "TO (s)" ]
+       (List.map
+          (fun r ->
+            let to_run = snd (List.hd r.B.to_runs) in
+            [
+              r.B.inst;
+              Rep.fmt_time ~timeout:(B.timed_out r.B.po_run) r.B.po_run.B.time;
+              Rep.fmt_time ~timeout:(B.timed_out to_run) to_run.B.time;
+            ])
+          results));
+  let points =
+    List.map
+      (fun r -> (r.B.po_run.B.time, (snd (List.hd r.B.to_runs)).B.time))
+      results
+  in
+  Printf.printf "\n%s: points above the diagonal favour QUBE(PO)\n"
+    label;
+  print_endline (Rep.ascii_scatter ~timeout_s:o.timeout points)
+
+let fig4 o =
+  section "Figure 4: QUBE(TO) vs QUBE(PO) on FPV";
+  let budget = B.budget o.timeout in
+  let instances = Suites.fpv_suite (rng ()) ~count:o.fpv_count in
+  let results = List.map (B.run_instance budget) instances in
+  scatter_of_results ~label:"FPV" o results
+
+let fig5 o =
+  section "Figure 5: QUBE(TO) vs QUBE(PO) on DIA";
+  let budget = B.budget o.timeout in
+  let models =
+    if o.full then
+      Suites.dia_models ~counter_bits:[ 2; 3; 4 ] ~semaphore_procs:[ 2; 3; 4 ] ()
+    else Suites.dia_models ()
+  in
+  let instances = Suites.dia_suite ~cap:(if o.full then 10 else 6) models in
+  let results = List.map (B.run_instance budget) instances in
+  scatter_of_results ~label:"DIA" o results
+
+(* Figure 6: diameter-calculation scaling: tested length vs cumulative
+   time for counter<N> and semaphore<N>, PO vs TO. *)
+let fig6 o =
+  section "Figure 6: diameter scaling on counter<N> and semaphore<N>";
+  let run_series model heuristic style =
+    let deadline = Unix.gettimeofday () +. o.timeout *. 4. in
+    let rec go n acc =
+      if Unix.gettimeofday () > deadline || n > 40 then List.rev acc
+      else
+        let lay = Qbf_models.Diameter.build model ~n in
+        let f =
+          match style with
+          | Qbf_models.Diameter.Nonprenex -> lay.Qbf_models.Diameter.formula
+          | Qbf_models.Diameter.Prenex ->
+              Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up
+                lay.Qbf_models.Diameter.formula
+        in
+        let aux v = v >= lay.Qbf_models.Diameter.first_aux in
+        let r =
+          B.solve ~aux ~heuristic (B.budget (o.timeout *. 2.)) f
+        in
+        let acc = (n, r) :: acc in
+        match r.B.outcome with
+        | ST.True -> go (n + 1) acc
+        | ST.False | ST.Unknown -> List.rev acc
+    in
+    go 0 []
+  in
+  let models =
+    List.map
+      (fun b -> Qbf_models.Families.counter ~bits:b)
+      (if o.full then [ 2; 3; 4 ] else [ 2; 3 ])
+    @ List.map
+        (fun p -> Qbf_models.Families.semaphore ~procs:p)
+        (if o.full then [ 2; 3; 4; 5 ] else [ 2; 3; 4 ])
+  in
+  List.iter
+    (fun m ->
+      let po =
+        run_series m ST.Partial_order Qbf_models.Diameter.Nonprenex
+      in
+      let to_ = run_series m ST.Total_order Qbf_models.Diameter.Prenex in
+      Printf.printf "\n%s (PO = triangles, TO = squares of the paper):\n"
+        (Qbf_models.Model.name m);
+      let line name series =
+        Printf.printf "  %-3s" name;
+        List.iter
+          (fun (n, r) ->
+            Printf.printf " %d:%s" n
+              (Rep.fmt_time ~timeout:(B.timed_out r) r.B.time))
+          series;
+        let solved =
+          List.filter (fun (_, r) -> r.B.outcome = ST.False) series
+        in
+        (match solved with
+        | [ (n, _) ] -> Printf.printf "  => diameter %d" n
+        | _ -> Printf.printf "  => not completed");
+        print_newline ()
+      in
+      line "PO" po;
+      line "TO" to_)
+    models
+
+let fig7 o =
+  section "Figure 7: PROB and FIXED after miniscoping (PO/TO > 20%)";
+  let budget = B.budget o.timeout in
+  let prob = Suites.prob_suite (rng ()) ~count:o.eval_count in
+  let fixed = Suites.fixed_suite (rng ()) ~count:o.eval_count in
+  let results = List.map (B.run_instance budget) (prob @ fixed) in
+  scatter_of_results ~label:"PROB+FIXED" o results
+
+(* ---------- ablation ----------------------------------------------------- *)
+
+(* Which engine ingredients carry the DIA behaviour: learning, pures,
+   the aux-var cover hint (DESIGN.md section 6). *)
+let ablation o =
+  section "Ablation: engine ingredients on diameter QBFs";
+  let cases =
+    [
+      (Qbf_models.Families.counter ~bits:3, 5);
+      (Qbf_models.Families.counter ~bits:3, 6);
+      (Qbf_models.Families.semaphore ~procs:3, 2);
+      (Qbf_models.Families.dme ~cells:3, 2);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (m, n) ->
+        let cells =
+          Qbf_bench.Ablation.run ~timeout_s:o.timeout ~model:m ~n
+        in
+        Qbf_bench.Ablation.row_cells
+          ~label:(Printf.sprintf "%s phi_%d" (Qbf_models.Model.name m) n)
+          cells)
+      cases
+  in
+  print_endline (Rep.render_table Qbf_bench.Ablation.header rows)
+
+(* ---------- micro-benchmarks (bechamel) --------------------------------- *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel): core operations";
+  let open Bechamel in
+  let rng = Qbf_gen.Rng.create 99 in
+  let f = Qbf_gen.Randqbf.prenex rng ~nvars:60 ~levels:4 ~nclauses:240 ~len:3 () in
+  let prefix = Qbf_core.Formula.prefix f in
+  let model = Qbf_models.Families.counter ~bits:3 in
+  let tests =
+    [
+      Test.make ~name:"prefix.precedes"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             for a = 0 to 59 do
+               for b = 0 to 59 do
+                 if Qbf_core.Prefix.precedes prefix a b then incr acc
+               done
+             done;
+             !acc));
+      Test.make ~name:"solve-60var-qbf"
+        (Staged.stage (fun () ->
+             (Qbf_solver.Engine.solve f).ST.outcome));
+      Test.make ~name:"miniscope-240cl"
+        (Staged.stage (fun () -> Qbf_prenex.Miniscope.minimize f));
+      Test.make ~name:"build-phi3-counter3"
+        (Staged.stage (fun () -> Qbf_models.Diameter.phi model ~n:3));
+    ]
+  in
+  let benchmark test =
+    let analyze = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |])
+    in
+    ignore analyze;
+    test
+  in
+  ignore benchmark;
+  (* Run with modest quota to keep the harness fast. *)
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let measures = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg measures test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-24s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        ols)
+    tests
+
+(* ---------- driver ------------------------------------------------------- *)
+
+let () =
+  let sections = ref [] in
+  let opts = ref default_opts in
+  let rec parse = function
+    | [] -> ()
+    | "--timeout" :: v :: rest ->
+        opts := { !opts with timeout = float_of_string v };
+        parse rest
+    | "--per-setting" :: v :: rest ->
+        opts := { !opts with per_setting = int_of_string v };
+        parse rest
+    | "--full" :: rest ->
+        opts :=
+          {
+            full = true;
+            timeout = Float.max !opts.timeout 30.;
+            per_setting = 10;
+            fpv_count = 80;
+            eval_count = 25;
+          };
+        parse rest
+    | s :: rest ->
+        sections := s :: !sections;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sections = if !sections = [] then [ "all" ] else List.rev !sections in
+  let o = !opts in
+  let want s = List.mem s sections || List.mem "all" sections in
+  if want "table1-ncf" then table1_ncf o;
+  if want "table1-fpv" then table1_fpv o;
+  if want "table1-dia" then table1_dia o;
+  if want "table1-eval" then table1_eval o;
+  if want "fig3" then fig3 o;
+  if want "fig4" then fig4 o;
+  if want "fig5" then fig5 o;
+  if want "fig6" then fig6 o;
+  if want "fig7" then fig7 o;
+  if want "ablation" then ablation o;
+  if want "micro" then micro ();
+  Printf.printf "\nbench: done\n"

@@ -1,0 +1,1 @@
+bin/qbfgen.ml: Arg Cmd Cmdliner Fun List Printf Qbf_core Qbf_gen Qbf_io Qbf_models Qbf_prenex Term

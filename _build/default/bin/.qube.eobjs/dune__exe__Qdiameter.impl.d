@@ -1,0 +1,1 @@
+bin/qdiameter.ml: Arg Cmd Cmdliner Filename Printf Qbf_core Qbf_models Qbf_prenex Qbf_solver Term Unix

@@ -1,0 +1,1 @@
+bin/qube.ml: Arg Cmd Cmdliner Format Fun List Option Printf Qbf_core Qbf_io Qbf_prenex Qbf_solver String Term Unix

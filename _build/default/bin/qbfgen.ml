@@ -1,0 +1,84 @@
+(* qbfgen: benchmark instance generator.
+
+     qbfgen FAMILY [--seed N] [-o FILE] [family-specific options]
+
+   Families: ncf, fpv, random, tree, game, dia.  Non-prenex families are
+   written in NQDIMACS, prenex ones in QDIMACS; --prenex STRATEGY forces
+   a prenexing first. *)
+
+open Cmdliner
+
+let write out f =
+  let prenex = Qbf_core.Prefix.is_prenex (Qbf_core.Formula.prefix f) in
+  let text =
+    if prenex then Qbf_io.Qdimacs.to_string f
+    else Qbf_io.Nqdimacs.to_string f
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text)
+
+let run family seed out prenex_to dep var ratio lpc core branches env cls
+    nvars levels len layers width edge_prob model n =
+  let rng = Qbf_gen.Rng.create seed in
+  let f =
+    match family with
+    | "ncf" -> Qbf_gen.Ncf.generate_ratio rng ~dep ~var ~ratio ~lpc
+    | "fpv" ->
+        Qbf_gen.Fpv.generate rng { Qbf_gen.Fpv.core; branches; env; cls; lpc }
+    | "random" ->
+        Qbf_gen.Randqbf.prenex rng ~nvars ~levels ~nclauses:cls ~len ()
+    | "tree" -> Qbf_gen.Randqbf.tree rng ~nvars ~nclauses:cls ~len ()
+    | "game" -> Qbf_gen.Fixed.game rng ~layers ~width ~edge_prob
+    | "dia" ->
+        Qbf_models.Diameter.phi (Qbf_models.Families.by_name model) ~n
+    | other ->
+        Printf.eprintf
+          "unknown family %S (use ncf, fpv, random, tree, game, dia)\n" other;
+        exit 2
+  in
+  let f =
+    match prenex_to with
+    | None -> f
+    | Some name -> (
+        match List.assoc_opt name Qbf_prenex.Prenexing.all with
+        | Some st -> Qbf_prenex.Prenexing.apply st f
+        | None ->
+            Printf.eprintf "unknown strategy %S\n" name;
+            exit 2)
+  in
+  write out f
+
+let cmd =
+  let doc = "QBF benchmark instance generator (NCF, FPV, random, game, diameter)" in
+  let open Arg in
+  Cmd.v
+    (Cmd.info "qbfgen" ~doc)
+    Term.(
+      const run
+      $ (required & pos 0 (some string) None & Arg.info [] ~docv:"FAMILY")
+      $ (value & opt int 0 & Arg.info [ "seed" ] ~docv:"N")
+      $ (value & opt (some string) None & Arg.info [ "o"; "output" ] ~docv:"FILE")
+      $ (value & opt (some string) None & Arg.info [ "prenex" ] ~docv:"STRATEGY")
+      $ (value & opt int 6 & Arg.info [ "dep" ] ~doc:"NCF nesting depth")
+      $ (value & opt int 8 & Arg.info [ "var" ] ~doc:"NCF variables per level")
+      $ (value & opt float 2.5 & Arg.info [ "ratio" ] ~doc:"NCF clauses per variable")
+      $ (value & opt int 4 & Arg.info [ "lpc" ] ~doc:"literals per clause")
+      $ (value & opt int 5 & Arg.info [ "core" ] ~doc:"FPV shared core size")
+      $ (value & opt int 4 & Arg.info [ "branches" ] ~doc:"FPV branch count")
+      $ (value & opt int 4 & Arg.info [ "env" ] ~doc:"FPV environment size")
+      $ (value & opt int 60 & Arg.info [ "cls" ] ~doc:"clause count (fpv: per branch)")
+      $ (value & opt int 30 & Arg.info [ "nvars" ] ~doc:"random: variables")
+      $ (value & opt int 3 & Arg.info [ "levels" ] ~doc:"random: prefix levels")
+      $ (value & opt int 3 & Arg.info [ "len" ] ~doc:"random: clause length")
+      $ (value & opt int 6 & Arg.info [ "layers" ] ~doc:"game: layers")
+      $ (value & opt int 4 & Arg.info [ "width" ] ~doc:"game: nodes per layer")
+      $ (value & opt float 0.85 & Arg.info [ "edge-prob" ] ~doc:"game: edge probability")
+      $ (value & opt string "counter3" & Arg.info [ "model" ] ~doc:"dia: model name")
+      $ (value & opt int 3 & Arg.info [ "n" ] ~doc:"dia: path length bound"))
+
+let () = exit (Cmd.eval cmd)

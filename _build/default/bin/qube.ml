@@ -1,0 +1,155 @@
+(* qube: command-line QBF solver.
+
+   Reads QDIMACS (prenex) or NQDIMACS (non-prenex; see Qbf_io.Nqdimacs)
+   and decides the formula with the search engine of the paper, in
+   total-order (QuBE(TO)-style) or partial-order (QuBE(PO)-style) mode.
+
+     qube FILE [--heuristic po|to] [--no-learning] [--no-pure]
+          [--prenex STRATEGY] [--miniscope] [--preprocess] [--max-nodes N] [--stats]
+
+   Exit code: 10 if true, 20 if false, 30 if unknown (budget), following
+   SAT-solver conventions. *)
+
+open Cmdliner
+module ST = Qbf_solver.Solver_types
+
+let read_formula path =
+  let looks_nq =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec scan () =
+            let line = input_line ic in
+            let t = String.trim line in
+            if t = "" || (t <> "" && t.[0] = 'c') then scan ()
+            else t
+          in
+          let header = scan () in
+          String.length header >= 6 && String.sub header 0 6 = "p ncnf")
+    with End_of_file | Sys_error _ -> false
+  in
+  if looks_nq then Qbf_io.Nqdimacs.parse_file path
+  else Qbf_io.Qdimacs.parse_file path
+
+let strategy_of_name name =
+  match List.assoc_opt name Qbf_prenex.Prenexing.all with
+  | Some st -> st
+  | None ->
+      Printf.eprintf "unknown strategy %S; available: %s\n" name
+        (String.concat ", " (List.map fst Qbf_prenex.Prenexing.all));
+      exit 2
+
+let run file heuristic no_learning no_pure restarts prenex_to miniscope
+    preprocess max_nodes timeout stats =
+  let f = read_formula file in
+  let f =
+    if preprocess then Qbf_prenex.Preprocess.simplify_formula f else f
+  in
+  let f = if miniscope then Qbf_prenex.Miniscope.minimize f else f in
+  let f =
+    match prenex_to with
+    | None -> f
+    | Some name -> Qbf_prenex.Prenexing.apply (strategy_of_name name) f
+  in
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) timeout
+  in
+  let config =
+    {
+      ST.default_config with
+      ST.heuristic =
+        (match heuristic with
+        | "to" -> ST.Total_order
+        | "po" -> ST.Partial_order
+        | other ->
+            Printf.eprintf "unknown heuristic %S (use po or to)\n" other;
+            exit 2);
+      ST.learning = not no_learning;
+      ST.pure_literals = not no_pure;
+      ST.restarts;
+      ST.db_reduction = restarts;
+      ST.max_nodes;
+      ST.should_stop =
+        Option.map (fun d () -> Unix.gettimeofday () > d) deadline;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Qbf_solver.Engine.solve ~config f in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "s cnf %s %s\n"
+    (match r.ST.outcome with
+    | ST.True -> "1"
+    | ST.False -> "0"
+    | ST.Unknown -> "?")
+    file;
+  if stats then begin
+    Printf.printf "c time %.3fs\n" dt;
+    Printf.printf "c vars %d clauses %d prefix-level %d prenex %b\n"
+      (Qbf_core.Formula.nvars f)
+      (Qbf_core.Formula.num_clauses f)
+      (Qbf_core.Prefix.prefix_level (Qbf_core.Formula.prefix f))
+      (Qbf_core.Prefix.is_prenex (Qbf_core.Formula.prefix f));
+    Printf.printf "c %s\n" (Format.asprintf "%a" ST.pp_stats r.ST.stats)
+  end;
+  exit (match r.ST.outcome with ST.True -> 10 | ST.False -> 20 | _ -> 30)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+    ~doc:"Input formula (QDIMACS or NQDIMACS).")
+
+let heuristic_arg =
+  Arg.(value & opt string "po"
+    & info [ "heuristic" ] ~docv:"MODE"
+        ~doc:"Branching mode: $(b,po) (partial-order, the paper's \
+              QuBE(PO)) or $(b,to) (total-order, QuBE(TO)).")
+
+let no_learning_arg =
+  Arg.(value & flag & info [ "no-learning" ] ~doc:"Disable good/nogood learning.")
+
+let no_pure_arg =
+  Arg.(value & flag & info [ "no-pure" ] ~doc:"Disable pure-literal fixing.")
+
+let restarts_arg =
+  Arg.(value & flag
+    & info [ "restarts" ]
+        ~doc:"Enable Luby restarts and learned-database reduction.")
+
+let prenex_arg =
+  Arg.(value & opt (some string) None
+    & info [ "prenex" ] ~docv:"STRATEGY"
+        ~doc:"Convert to prenex form first (EupAup, EupAdown, EdownAup, \
+              EdownAdown).")
+
+let miniscope_arg =
+  Arg.(value & flag
+    & info [ "miniscope" ]
+        ~doc:"Minimise quantifier scopes first (prenex input only).")
+
+let preprocess_arg =
+  Arg.(value & flag
+    & info [ "preprocess" ]
+        ~doc:"Run unit/pure/subsumption preprocessing first.")
+
+let max_nodes_arg =
+  Arg.(value & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Stop after N search leaves.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+    & info [ "timeout" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
+
+let cmd =
+  let doc = "search-based QBF solver with non-prenex (quantifier tree) support" in
+  Cmd.v
+    (Cmd.info "qube" ~doc)
+    Term.(
+      const run $ file_arg $ heuristic_arg $ no_learning_arg $ no_pure_arg
+      $ restarts_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
+      $ max_nodes_arg $ timeout_arg $ stats_arg)
+
+let () = exit (Cmd.eval cmd)

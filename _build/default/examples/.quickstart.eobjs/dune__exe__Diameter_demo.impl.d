@@ -1,0 +1,1 @@
+examples/diameter_demo.ml: Format Qbf_core Qbf_models Qbf_solver

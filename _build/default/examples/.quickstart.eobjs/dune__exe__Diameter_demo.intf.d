@@ -1,0 +1,1 @@
+examples/diameter_demo.mli:

@@ -1,0 +1,1 @@
+examples/prenexing_demo.ml: Array Clause Format Formula List Prefix Qbf_core Qbf_prenex Quant String

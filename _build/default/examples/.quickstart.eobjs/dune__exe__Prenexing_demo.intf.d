@@ -1,0 +1,1 @@
+examples/prenexing_demo.mli:

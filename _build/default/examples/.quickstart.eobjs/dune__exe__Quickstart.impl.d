@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clause Eval Format Formula List Prefix Qbf_core Qbf_prenex Qbf_solver Quant

@@ -1,0 +1,1 @@
+examples/search_tree.ml: Array Clause Format Formula List Prefix Printf Qbf_core Qbf_solver Quant String

@@ -1,0 +1,63 @@
+(* Figure 2 of the paper: the search tree of plain Q-DLL (no learning)
+   on formula (1).  The engine's event hook records decisions, flips,
+   propagations and leaves; the trace prints as an indented tree whose
+   shape mirrors the figure: branching on x0 first, the pure universal
+   y1 (resp. y2), then the x1/x2 (resp. x3/x4) conflicts.
+
+   Run with: dune exec examples/search_tree.exe *)
+
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+
+let name_of = [| "x0"; "y1"; "x1"; "x2"; "y2"; "x3"; "x4" |]
+
+let lit_name l =
+  let v = l lsr 1 in
+  Printf.sprintf "%s%s" (if l land 1 = 1 then "-" else "") name_of.(v)
+
+let () =
+  let x0 = 0 and y1 = 1 and x1 = 2 and x2 = 3 and y2 = 4 and x3 = 5 and x4 = 6 in
+  let tree =
+    Prefix.node Quant.Exists [ x0 ]
+      [
+        Prefix.node Quant.Forall [ y1 ] [ Prefix.node Quant.Exists [ x1; x2 ] [] ];
+        Prefix.node Quant.Forall [ y2 ] [ Prefix.node Quant.Exists [ x3; x4 ] [] ];
+      ]
+  in
+  let prefix = Prefix.of_forest ~nvars:7 [ tree ] in
+  let matrix =
+    List.map Clause.of_dimacs_list
+      [
+        [ -1; 3; 4 ]; [ -2; -3; 4 ]; [ 3; -4 ]; [ -1; -3; -4 ];
+        [ 1; 6; 7 ]; [ -5; -6; 7 ]; [ 6; -7 ]; [ 1; -6; -7 ];
+      ]
+  in
+  let formula = Formula.make prefix matrix in
+  Format.printf "Q-DLL (no learning) on formula (1) of the paper:@.@.";
+  let depth = ref 0 in
+  let indent () = String.make (2 * !depth) ' ' in
+  let on_event = function
+    | ST.E_decide l ->
+        Printf.printf "%s%s (branch)\n" (indent ()) (lit_name l);
+        incr depth
+    | ST.E_flip l ->
+        Printf.printf "%s%s (second branch)\n" (indent ()) (lit_name l);
+        incr depth
+    | ST.E_propagate l ->
+        Printf.printf "%s%s (propagated)\n" (indent ()) (lit_name l)
+    | ST.E_conflict_leaf -> Printf.printf "%s=> {{}} contradiction\n" (indent ())
+    | ST.E_solution_leaf -> Printf.printf "%s=> matrix empty\n" (indent ())
+    | ST.E_backtrack level ->
+        depth := level;
+        Printf.printf "%s(backtrack to level %d)\n" (indent ()) level
+  in
+  let config =
+    {
+      ST.default_config with
+      ST.learning = false;
+      ST.on_event = Some on_event;
+    }
+  in
+  let r = Qbf_solver.Engine.solve ~config formula in
+  Format.printf "@.result: %a — the paper's Figure 2 concludes FALSE too@."
+    ST.pp_outcome r.ST.outcome

@@ -1,0 +1,1 @@
+lib/bench/ablation.ml: List Printf Qbf_models Qbf_solver Unix

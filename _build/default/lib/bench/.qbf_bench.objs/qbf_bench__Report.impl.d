@@ -1,0 +1,1 @@
+lib/bench/report.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/bench/runner.ml: Formula List Qbf_core Qbf_prenex Qbf_solver Unix

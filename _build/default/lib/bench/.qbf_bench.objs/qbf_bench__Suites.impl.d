@@ -1,0 +1,1 @@
+lib/bench/suites.ml: Fun List Printf Qbf_gen Qbf_models Qbf_prenex Runner

@@ -1,0 +1,1 @@
+lib/bench/table1.ml: Float List Runner

@@ -1,0 +1,73 @@
+(* Ablation study: which engine ingredients carry the DIA-suite
+   behaviour (DESIGN.md calls these out): learning, pure-literal fixing,
+   and the auxiliary-variable hint of the good-learning cover. *)
+
+module ST = Qbf_solver.Solver_types
+
+type variant = {
+  vname : string;
+  learning : bool;
+  pure_literals : bool;
+  use_aux : bool;
+  restarts : bool;
+}
+
+let variants =
+  [
+    { vname = "full"; learning = true; pure_literals = true; use_aux = true;
+      restarts = false };
+    { vname = "+restarts"; learning = true; pure_literals = true;
+      use_aux = true; restarts = true };
+    { vname = "-aux-hint"; learning = true; pure_literals = true;
+      use_aux = false; restarts = false };
+    { vname = "-pure"; learning = true; pure_literals = false; use_aux = true;
+      restarts = false };
+    { vname = "-learning"; learning = false; pure_literals = true;
+      use_aux = true; restarts = false };
+    { vname = "chronological"; learning = false; pure_literals = false;
+      use_aux = false; restarts = false };
+  ]
+
+type cell = { time : float; nodes : int; solved : bool }
+
+(* Run phi_n of [model] under every variant. *)
+let run ~timeout_s ~model ~n =
+  let lay = Qbf_models.Diameter.build model ~n in
+  List.map
+    (fun v ->
+      let aux =
+        if v.use_aux then
+          Some (fun x -> x >= lay.Qbf_models.Diameter.first_aux)
+        else None
+      in
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let config =
+        {
+          ST.default_config with
+          ST.learning = v.learning;
+          ST.pure_literals = v.pure_literals;
+          ST.aux_hint = aux;
+          ST.restarts = v.restarts;
+          ST.db_reduction = v.restarts;
+          ST.should_stop = Some (fun () -> Unix.gettimeofday () > deadline);
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Qbf_solver.Engine.solve ~config lay.Qbf_models.Diameter.formula in
+      ( v.vname,
+        {
+          time = Unix.gettimeofday () -. t0;
+          nodes = ST.nodes r.ST.stats;
+          solved = r.ST.outcome <> ST.Unknown;
+        } ))
+    variants
+
+let header = "variant" :: List.map (fun v -> v.vname) variants
+
+let row_cells ~label cells =
+  label
+  :: List.map
+       (fun v ->
+         let c = List.assoc v.vname cells in
+         if c.solved then Printf.sprintf "%.3fs/%d" c.time c.nodes else "T/O")
+       variants

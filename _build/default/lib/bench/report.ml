@@ -1,0 +1,61 @@
+(* Plain-text rendering of tables, scatter plots and series. *)
+
+let render_table header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let fmt_time ~timeout t =
+  if timeout then "T/O" else Printf.sprintf "%.3f" t
+
+(* ASCII log-log scatter in the style of Figures 3/4/5/7: x = QuBE(PO)
+   time, y = QuBE(TO) time; points above the diagonal favour PO. *)
+let ascii_scatter ?(size = 22) ~timeout_s points =
+  let lo = 1e-4 in
+  let logt t = log10 (Float.max lo (Float.min t timeout_s)) in
+  let l0 = logt lo and l1 = logt timeout_s in
+  let scale t =
+    let v = (logt t -. l0) /. (l1 -. l0) in
+    int_of_float (v *. float_of_int (size - 1))
+  in
+  let grid = Array.make_matrix size size ' ' in
+  for i = 0 to size - 1 do
+    grid.(size - 1 - i).(i) <- '.'
+  done;
+  List.iter
+    (fun (x, y) ->
+      let cx = scale x and cy = scale y in
+      grid.(size - 1 - cy).(cx) <- 'o')
+    points;
+  let buf = Buffer.create (size * (size + 4)) in
+  Buffer.add_string buf
+    (Printf.sprintf "TO time ^ (log scale, %.0fs budget)\n" timeout_s);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("  +" ^ String.make size '-' ^ "> PO time\n");
+  Buffer.contents buf
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.

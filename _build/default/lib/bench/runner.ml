@@ -1,0 +1,78 @@
+(* Budgeted solver runs for the experiment harness. *)
+
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+
+type budget = {
+  timeout_s : float; (* wall-clock limit per run *)
+  max_nodes : int option; (* optional node (leaf) limit *)
+}
+
+let budget ?(max_nodes = None) timeout_s = { timeout_s; max_nodes }
+
+type run = {
+  outcome : ST.outcome;
+  time : float; (* seconds *)
+  nodes : int; (* conflict + solution leaves *)
+  stats : ST.stats;
+}
+
+let timed_out r = r.outcome = ST.Unknown
+
+(* Solve under [budget] with the given heuristic; [aux] optionally marks
+   CNF-conversion variables (see Qbf_solver.Solver_types.config). *)
+let solve ?aux ~heuristic b formula =
+  let deadline = Unix.gettimeofday () +. b.timeout_s in
+  let config =
+    {
+      ST.default_config with
+      ST.heuristic;
+      ST.max_nodes = b.max_nodes;
+      ST.should_stop = Some (fun () -> Unix.gettimeofday () > deadline);
+      ST.aux_hint = aux;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Qbf_solver.Engine.solve ~config formula in
+  {
+    outcome = r.ST.outcome;
+    time = Unix.gettimeofday () -. t0;
+    nodes = ST.nodes r.ST.stats;
+    stats = r.ST.stats;
+  }
+
+(* A benchmark instance: the non-prenex original for QuBE(PO) plus one
+   or more prenex versions for QuBE(TO), tagged by strategy name. *)
+type instance = {
+  name : string;
+  po : Formula.t;
+  tos : (string * Formula.t) list;
+  aux : (int -> bool) option;
+}
+
+let instance ?aux ?(strategies = [ ("EupAup", Qbf_prenex.Prenexing.e_up_a_up) ])
+    ~name po =
+  {
+    name;
+    po;
+    tos =
+      List.map (fun (sn, st) -> (sn, Qbf_prenex.Prenexing.apply st po)) strategies;
+    aux;
+  }
+
+type result = {
+  inst : string;
+  po_run : run;
+  to_runs : (string * run) list;
+}
+
+let run_instance b inst =
+  {
+    inst = inst.name;
+    po_run = solve ?aux:inst.aux ~heuristic:ST.Partial_order b inst.po;
+    to_runs =
+      List.map
+        (fun (sn, f) ->
+          (sn, solve ?aux:inst.aux ~heuristic:ST.Total_order b f))
+        inst.tos;
+  }

@@ -1,0 +1,135 @@
+(* Construction of the paper's benchmark suites (Section VII). *)
+
+module P = Qbf_prenex.Prenexing
+
+(* --- NCF (Section VII-A) ----------------------------------------------- *)
+
+(* One parameter setting of the NCF sweep. *)
+type ncf_setting = { var : int; ratio : float; lpc : int }
+
+let ncf_settings ?(vars = [ 4; 8 ]) ?(ratios = [ 1.5; 2.0; 2.5 ])
+    ?(lpcs = [ 3; 4 ]) () =
+  List.concat_map
+    (fun var ->
+      List.concat_map
+        (fun ratio -> List.map (fun lpc -> { var; ratio; lpc }) lpcs)
+        ratios)
+    vars
+
+let ncf_instance rng (s : ncf_setting) i =
+  let f = Qbf_gen.Ncf.generate_ratio rng ~dep:6 ~var:s.var ~ratio:s.ratio ~lpc:s.lpc in
+  Runner.instance ~strategies:P.all
+    ~name:(Printf.sprintf "ncf-v%d-r%.1f-l%d-#%d" s.var s.ratio s.lpc i)
+    f
+
+let ncf_suite rng ~per_setting ~settings =
+  List.concat_map
+    (fun s -> List.init per_setting (fun i -> ncf_instance rng s i))
+    settings
+
+(* --- FPV (Section VII-B) ----------------------------------------------- *)
+
+let fpv_instance rng i =
+  let branches = 3 + Qbf_gen.Rng.int rng 3 in
+  let cls = 1 + Qbf_gen.Rng.int rng 2 in
+  let core = 4 + Qbf_gen.Rng.int rng 3 in
+  let env = 3 + Qbf_gen.Rng.int rng 2 in
+  let params =
+    { Qbf_gen.Fpv.core; branches; env; cls; lpc = 3 }
+  in
+  Runner.instance ~name:(Printf.sprintf "fpv-#%d" i)
+    (Qbf_gen.Fpv.generate rng params)
+
+let fpv_suite rng ~count = List.init count (fpv_instance rng)
+
+(* --- DIA (Section VII-C) ----------------------------------------------- *)
+
+(* The diameter QBFs phi_n of the given models for n = 0..cap.  The
+   non-prenex phi_n is eq. (14); the TO side gets its ∃↑∀↑ prenexing,
+   eq. (16), exactly as in the paper. *)
+let dia_suite ?(cap = 8) models =
+  List.concat_map
+    (fun model ->
+      List.concat_map
+        (fun n ->
+          let lay = Qbf_models.Diameter.build model ~n in
+          let aux v = v >= lay.Qbf_models.Diameter.first_aux in
+          [
+            {
+              Runner.name =
+                Printf.sprintf "dia-%s-n%d" (Qbf_models.Model.name model) n;
+              po = lay.Qbf_models.Diameter.formula;
+              tos =
+                [ ("EupAup", P.apply P.e_up_a_up lay.Qbf_models.Diameter.formula) ];
+              aux = Some aux;
+            };
+          ])
+        (List.init (cap + 1) Fun.id))
+    models
+
+(* --- QBFEVAL-style PROB / FIXED (Section VII-D) ------------------------ *)
+
+(* A prenex instance for the miniscoping experiment: QuBE(TO) solves the
+   original prenex formula, QuBE(PO) its miniscoped version; only
+   instances whose PO/TO structure ratio exceeds the paper's 20%
+   threshold enter the suite. *)
+let miniscoped_instance ~name f =
+  let mini = Qbf_prenex.Miniscope.minimize f in
+  let ratio = Qbf_prenex.Miniscope.po_to_ratio ~original:f ~miniscoped:mini in
+  if ratio > 20. then
+    Some { Runner.name; po = mini; tos = [ ("orig", f) ]; aux = None }
+  else None
+
+let prob_suite rng ~count =
+  (* The generalised fixed-clause-length random model ([35]); most
+     instances fail the structure filter, as the paper observes. *)
+  let rec gen acc i attempts =
+    if i >= count || attempts > 40 * count then List.rev acc
+    else
+      let nvars = 20 + Qbf_gen.Rng.int rng 25 in
+      let f =
+        Qbf_gen.Randqbf.prenex rng ~nvars
+          ~levels:(2 + Qbf_gen.Rng.int rng 3)
+          ~nclauses:(2 * nvars) ~len:3 ()
+      in
+      match miniscoped_instance ~name:(Printf.sprintf "prob-#%d" i) f with
+      | Some inst -> gen (inst :: acc) (i + 1) (attempts + 1)
+      | None -> gen acc i (attempts + 1)
+  in
+  gen [] 0 0
+
+let fixed_suite rng ~count =
+  let rec gen acc i attempts =
+    if i >= count || attempts > 40 * count then List.rev acc
+    else
+      let f =
+        match attempts mod 3 with
+        | 0 ->
+            Qbf_gen.Fixed.renamed_fpv rng
+              {
+                Qbf_gen.Fpv.core = 4 + Qbf_gen.Rng.int rng 4;
+                branches = 3 + Qbf_gen.Rng.int rng 4;
+                env = 2 + Qbf_gen.Rng.int rng 2;
+                cls = 5 + Qbf_gen.Rng.int rng 3;
+                lpc = 3;
+              }
+        | 1 ->
+            Qbf_gen.Fixed.renamed_ncf rng
+              { Qbf_gen.Ncf.dep = 4; var = 4; cls = 40; lpc = 3 }
+        | _ ->
+            Qbf_gen.Fixed.game rng ~layers:6
+              ~width:(3 + Qbf_gen.Rng.int rng 3)
+              ~edge_prob:0.85
+      in
+      match miniscoped_instance ~name:(Printf.sprintf "fixed-#%d" i) f with
+      | Some inst -> gen (inst :: acc) (i + 1) (attempts + 1)
+      | None -> gen acc i (attempts + 1)
+  in
+  gen [] 0 0
+
+let dia_models ?(counter_bits = [ 2; 3 ]) ?(semaphore_procs = [ 2; 3 ])
+    ?(ring_gates = [ 3; 4 ]) ?(dme_cells = [ 2; 3 ]) () =
+  List.map (fun b -> Qbf_models.Families.counter ~bits:b) counter_bits
+  @ List.map (fun g -> Qbf_models.Families.ring ~gates:g) ring_gates
+  @ List.map (fun p -> Qbf_models.Families.semaphore ~procs:p) semaphore_procs
+  @ List.map (fun c -> Qbf_models.Families.dme ~cells:c) dme_cells

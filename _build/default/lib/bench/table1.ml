@@ -1,0 +1,104 @@
+(* Table-I style comparison counters (Section VII of the paper).
+
+   For each instance, QuBE(TO) on a prenexing is compared with QuBE(PO)
+   on the original:
+     ">"    TO slower than PO by more than epsilon
+     "<"    TO faster than PO by more than epsilon
+     "=±e"  within epsilon (including both-timeout)
+     "TO_t" TO times out, PO does not
+     "PO_t" PO times out, TO does not
+     "both" both time out
+     ">10x" both solved, TO at least 10 times slower
+     "10x<" both solved, TO at least 10 times faster
+   The paper uses epsilon = 1s under a 600s timeout; the row carries its
+   own epsilon so scaled-down budgets keep the same semantics. *)
+
+type row = {
+  label : string;
+  strategy : string;
+  slower : int; (* > *)
+  faster : int; (* < *)
+  equal : int; (* =±eps, timeouts excluded *)
+  to_timeout : int;
+  po_timeout : int;
+  both_timeout : int;
+  order_slower : int; (* >10x *)
+  order_faster : int; (* 10x< *)
+  total : int;
+  eps : float;
+}
+
+let empty_row label strategy eps =
+  {
+    label;
+    strategy;
+    slower = 0;
+    faster = 0;
+    equal = 0;
+    to_timeout = 0;
+    po_timeout = 0;
+    both_timeout = 0;
+    order_slower = 0;
+    order_faster = 0;
+    total = 0;
+    eps;
+  }
+
+let add_comparison row ~(po : Runner.run) ~(to_ : Runner.run) =
+  let row = { row with total = row.total + 1 } in
+  match (Runner.timed_out po, Runner.timed_out to_) with
+  | true, true -> { row with both_timeout = row.both_timeout + 1 }
+  | true, false -> { row with po_timeout = row.po_timeout + 1 }
+  | false, true -> { row with to_timeout = row.to_timeout + 1 }
+  | false, false ->
+      let d = to_.Runner.time -. po.Runner.time in
+      let row =
+        if d > row.eps then { row with slower = row.slower + 1 }
+        else if d < -.row.eps then { row with faster = row.faster + 1 }
+        else { row with equal = row.equal + 1 }
+      in
+      let ratio_floor = 1e-4 in
+      let tp = Float.max po.Runner.time ratio_floor
+      and tt = Float.max to_.Runner.time ratio_floor in
+      if tt >= 10. *. tp && to_.Runner.time > row.eps then
+        { row with order_slower = row.order_slower + 1 }
+      else if tp >= 10. *. tt && po.Runner.time > row.eps then
+        { row with order_faster = row.order_faster + 1 }
+      else row
+
+(* Build the rows of one suite: one row per prenexing strategy. *)
+let of_results ~label ~eps results =
+  let strategies =
+    match results with
+    | [] -> []
+    | r :: _ -> List.map fst r.Runner.to_runs
+  in
+  List.map
+    (fun sn ->
+      List.fold_left
+        (fun row r ->
+          let to_ = List.assoc sn r.Runner.to_runs in
+          add_comparison row ~po:r.Runner.po_run ~to_)
+        (empty_row label sn eps) results)
+    strategies
+
+let header =
+  [
+    "Suite"; "Strategy"; ">"; "<"; "=±e"; "TO_t"; "PO_t"; "both"; ">10x";
+    "10x<"; "N";
+  ]
+
+let to_cells row =
+  [
+    row.label;
+    row.strategy;
+    string_of_int row.slower;
+    string_of_int row.faster;
+    string_of_int row.equal;
+    string_of_int row.to_timeout;
+    string_of_int row.po_timeout;
+    string_of_int row.both_timeout;
+    string_of_int row.order_slower;
+    string_of_int row.order_faster;
+    string_of_int row.total;
+  ]

@@ -1,0 +1,1 @@
+lib/core/clause.ml: Array Format List Lit

@@ -1,0 +1,1 @@
+lib/core/clause.mli: Format Lit

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Clause Formula Lit Prefix

@@ -1,0 +1,1 @@
+lib/core/formula.ml: Clause Format List Lit Prefix Printf

@@ -1,0 +1,1 @@
+lib/core/lit.ml: Format Int

@@ -1,0 +1,1 @@
+lib/core/prefix.ml: Array Format List Lit Printf Quant

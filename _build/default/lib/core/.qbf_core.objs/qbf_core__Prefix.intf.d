@@ -1,0 +1,1 @@
+lib/core/prefix.mli: Format Lit Quant

@@ -1,0 +1,81 @@
+(* Naive expansion-based semantics, used as a correctness oracle in tests
+   and examples.  Follows the recursive definition of Section II:
+
+   - empty matrix           -> true
+   - contradictory clause   -> false  (Lemma 4)
+   - otherwise branch on any top variable of the residual QBF, combining
+     subresults with "or" (existential) or "and" (universal).
+
+   Exponential; intended for small formulas only. *)
+
+type value = bool option array
+(* assignment: Some true / Some false for assigned variables *)
+
+let residual_status prefix matrix (asg : value) =
+  (* [`True] when all clauses are satisfied, [`False] when some residual
+     clause is contradictory, [`Open] otherwise. *)
+  let rec clauses = function
+    | [] -> `True
+    | c :: rest ->
+        let satisfied = ref false in
+        let has_exist = ref false in
+        Clause.iter
+          (fun l ->
+            match asg.(Lit.var l) with
+            | Some b -> if b = Lit.is_pos l then satisfied := true
+            | None ->
+                if Prefix.is_exists prefix (Lit.var l) then has_exist := true)
+          c;
+        if !satisfied then clauses rest
+        else if not !has_exist then `False
+        else
+          (match clauses rest with
+          | `False -> `False
+          | `True | `Open -> `Open)
+  in
+  clauses matrix
+
+let top_unassigned prefix (asg : value) =
+  (* A variable all of whose ≺-predecessors are assigned.  O(n²), which
+     is fine for an oracle. *)
+  let n = Prefix.nvars prefix in
+  let is_top v =
+    asg.(v) = None
+    &&
+    let rec check z =
+      z >= n
+      || ((asg.(z) <> None || not (Prefix.precedes prefix z v)) && check (z + 1))
+    in
+    check 0
+  in
+  let rec find v = if v >= n then None else if is_top v then Some v else find (v + 1) in
+  find 0
+
+exception Too_large
+
+let eval ?(max_vars = 26) formula =
+  let prefix = Formula.prefix formula in
+  let matrix = Formula.matrix formula in
+  if Formula.nvars formula > max_vars then raise Too_large;
+  let asg = Array.make (max (Formula.nvars formula) 1) None in
+  let rec go () =
+    match residual_status prefix matrix asg with
+    | `True -> true
+    | `False -> false
+    | `Open -> (
+        match top_unassigned prefix asg with
+        | None ->
+            (* Cannot happen: an open residual always has an unassigned
+               variable, and a finite partial order has minimal elements. *)
+            assert false
+        | Some v ->
+            let branch b =
+              asg.(v) <- Some b;
+              let r = go () in
+              asg.(v) <- None;
+              r
+            in
+            if Prefix.is_exists prefix v then branch true || branch false
+            else branch true && branch false)
+  in
+  go ()

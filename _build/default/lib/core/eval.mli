@@ -1,0 +1,11 @@
+(** Naive expansion-based QBF semantics (Section II), used as a
+    correctness oracle for the search solver in tests.  Exponential in the
+    number of variables. *)
+
+exception Too_large
+
+(** [eval ?max_vars f] decides [f] by recursive expansion, branching only
+    on top variables of the residual QBF — the semantics of the paper.
+    Raises {!Too_large} if [f] has more than [max_vars] (default 26)
+    variables. *)
+val eval : ?max_vars:int -> Formula.t -> bool

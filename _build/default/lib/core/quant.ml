@@ -1,0 +1,32 @@
+(* Quantifier kinds. *)
+
+type t =
+  | Exists
+  | Forall
+
+let equal a b =
+  match a, b with
+  | Exists, Exists | Forall, Forall -> true
+  | Exists, Forall | Forall, Exists -> false
+
+let flip = function
+  | Exists -> Forall
+  | Forall -> Exists
+
+let is_exists = function
+  | Exists -> true
+  | Forall -> false
+
+let is_forall = function
+  | Exists -> false
+  | Forall -> true
+
+let to_string = function
+  | Exists -> "exists"
+  | Forall -> "forall"
+
+let symbol = function
+  | Exists -> "e"
+  | Forall -> "a"
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,21 @@
+(** Quantifier kinds for QBF prefixes. *)
+
+type t =
+  | Exists
+  | Forall
+
+val equal : t -> t -> bool
+
+(** [flip q] is the dual quantifier: [flip Exists = Forall] and vice versa. *)
+val flip : t -> t
+
+val is_exists : t -> bool
+val is_forall : t -> bool
+
+(** ["exists"] or ["forall"]. *)
+val to_string : t -> string
+
+(** One-letter QDIMACS-style tag: ["e"] or ["a"]. *)
+val symbol : t -> string
+
+val pp : Format.formatter -> t -> unit

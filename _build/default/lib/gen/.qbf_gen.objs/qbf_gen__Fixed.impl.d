@@ -1,0 +1,1 @@
+lib/gen/fixed.ml: Clause Formula Fpv List Lit Ncf Prefix Qbf_core Qbf_prenex Quant Randqbf Rng

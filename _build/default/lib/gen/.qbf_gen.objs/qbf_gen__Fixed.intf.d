@@ -1,0 +1,1 @@
+lib/gen/fixed.mli: Formula Fpv Ncf Qbf_core Rng

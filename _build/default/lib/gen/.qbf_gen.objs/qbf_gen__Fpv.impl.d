@@ -1,0 +1,1 @@
+lib/gen/fpv.ml: Array Clause Formula Hashtbl List Lit Prefix Qbf_core Quant Rng

@@ -1,0 +1,1 @@
+lib/gen/fpv.mli: Formula Qbf_core Rng

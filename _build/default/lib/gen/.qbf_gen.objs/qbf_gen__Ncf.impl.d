@@ -1,0 +1,1 @@
+lib/gen/ncf.ml: Array Clause Formula Hashtbl List Lit Prefix Qbf_core Quant Rng

@@ -1,0 +1,1 @@
+lib/gen/ncf.mli: Formula Qbf_core Rng

@@ -1,0 +1,1 @@
+lib/gen/randqbf.ml: Array Clause Formula Fun Int List Lit Prefix Qbf_core Quant Rng

@@ -1,0 +1,1 @@
+lib/gen/randqbf.mli: Formula Qbf_core Quant Rng

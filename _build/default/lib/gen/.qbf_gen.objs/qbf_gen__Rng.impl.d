@@ -1,0 +1,1 @@
+lib/gen/rng.ml: Array Fun Hashtbl Int64 List

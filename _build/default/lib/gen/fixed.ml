@@ -1,0 +1,86 @@
+(* "Fixed"-class structured prenex instances (Section VII-D).
+
+   The paper's Figure-7 experiment takes the prenex QBFs of QBFEVAL'06
+   (split into a "probabilistic" class — at least one generation
+   parameter is a random variable — and a "fixed" class), miniscopes
+   them, and keeps the instances whose PO/TO structure ratio exceeds
+   20%.  The QBFEVAL archive is not available offline, so this module
+   substitutes structured families with the same character: prenex
+   formulas produced by prenexing inherently tree-shaped problems, so
+   that miniscoping can rediscover the hidden structure.
+
+   - [game]: a two-player reachability game on a layered random graph
+     (∃ moves at odd layers, ∀ at even), one QBF per depth — a classic
+     "fixed" pattern.
+   - [renamed_tree], [renamed_fpv], [renamed_ncf]: ∃↑∀↑-prenexings of
+     our structured non-prenex generators. *)
+
+open Qbf_core
+
+let prenexed f =
+  Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up f
+
+let renamed_tree rng ~nvars ~nclauses ~len =
+  prenexed (Randqbf.tree rng ~nvars ~nclauses ~len ())
+
+let renamed_fpv rng params = prenexed (Fpv.generate rng params)
+let renamed_ncf rng params = prenexed (Ncf.generate rng params)
+
+(* Two-player pebble game: layers 0..d; the ∃ player picks one node per
+   odd layer, the ∀ player per even layer; clauses force every chosen
+   pair of adjacent nodes to be connected in a random bipartite graph
+   (one-hot choices).  True iff ∃ can always answer; generated prenex. *)
+let game rng ~layers ~width ~edge_prob =
+  if layers < 2 || width < 1 then invalid_arg "Fixed.game: bad parameters";
+  let node l i = (l * width) + i in
+  let nvars = layers * width in
+  let blocks =
+    List.init layers (fun l ->
+        let q = if l mod 2 = 0 then Quant.Forall else Quant.Exists in
+        (q, List.init width (node l)))
+  in
+  let clauses = ref [] in
+  (* Exactly-one per existential layer: at-least-one and at-most-one;
+     universal layers are constrained only through the edge clauses
+     (an adversarial choice of several nodes only helps the ∃ player
+     lose, so at-least-one suffices there). *)
+  List.iteri
+    (fun l (q, vars) ->
+      (match q with
+      | Quant.Exists ->
+          clauses := Clause.of_list (List.map Lit.of_var vars) :: !clauses;
+          List.iteri
+            (fun i a ->
+              List.iteri
+                (fun j b ->
+                  if i < j then
+                    clauses :=
+                      Clause.of_list
+                        [ Lit.negate (Lit.of_var a); Lit.negate (Lit.of_var b) ]
+                      :: !clauses)
+                vars)
+            vars
+      | Quant.Forall -> ());
+      ignore l)
+    blocks;
+  (* Edges between consecutive layers: choosing u at layer l and v at
+     layer l+1 requires edge (u,v): clause (¬u ∨ ¬v) for non-edges where
+     the deeper node is existential; when the deeper layer is universal
+     the ∃ player must have chosen a node whose successors are total,
+     which the same clauses encode with the polarity swapped. *)
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      for j = 0 to width - 1 do
+        let connected = Rng.float rng < edge_prob in
+        if not connected then
+          clauses :=
+            Clause.of_list
+              [
+                Lit.negate (Lit.of_var (node l i));
+                Lit.negate (Lit.of_var (node (l + 1) j));
+              ]
+            :: !clauses
+      done
+    done
+  done;
+  Formula.make (Prefix.of_blocks ~nvars blocks) !clauses

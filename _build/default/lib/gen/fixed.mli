@@ -1,0 +1,19 @@
+(** "Fixed"-class structured prenex instances for the Figure-7
+    experiment: prenexings of structured problems whose quantifier tree
+    miniscoping can rediscover, plus a two-player layered reachability
+    game. *)
+
+open Qbf_core
+
+(** ∃↑∀↑ prenexing of a random quantifier-forest QBF. *)
+val renamed_tree : Rng.t -> nvars:int -> nclauses:int -> len:int -> Formula.t
+
+(** ∃↑∀↑ prenexing of an FPV-style instance. *)
+val renamed_fpv : Rng.t -> Fpv.params -> Formula.t
+
+(** ∃↑∀↑ prenexing of an NCF-style instance. *)
+val renamed_ncf : Rng.t -> Ncf.params -> Formula.t
+
+(** Two-player layered reachability game (prenex, alternating one-hot
+    layers over a random bipartite graph). *)
+val game : Rng.t -> layers:int -> width:int -> edge_prob:float -> Formula.t

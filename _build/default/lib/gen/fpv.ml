@@ -1,0 +1,95 @@
+(* FPV-style instances: formal property verification of early
+   requirements (Section VII-B of the paper).
+
+   The paper's suite comes from model checking requirements on web
+   service compositions [9], [29]: each model-checking problem yields a
+   set of non-prenex QBFs.  Those benchmarks are proprietary; this
+   module substitutes a synthetic family with the structure the paper
+   describes — a shared existential core (the system configuration /
+   strategy) under a conjunction of independent requirement checks, each
+   of the form ∀ environment ∃ witness (CNF): a wide, shallow
+   quantifier tree of prefix level 3, where prenexing forces all the
+   independent environment blocks into one scope. *)
+
+open Qbf_core
+
+type params = {
+  core : int; (* shared existential core variables *)
+  branches : int; (* independent requirement checks *)
+  env : int; (* universal environment variables per branch *)
+  cls : int; (* clauses per branch *)
+  lpc : int; (* literals per clause *)
+}
+
+let default = { core = 5; branches = 4; env = 4; cls = 2; lpc = 3 }
+
+(* Emit CNF of a <-> b xor c (4 clauses). *)
+let xor3 a b c =
+  [
+    Clause.of_list [ Lit.make a false; Lit.make b true; Lit.make c true ];
+    Clause.of_list [ Lit.make a false; Lit.make b false; Lit.make c false ];
+    Clause.of_list [ Lit.make a true; Lit.make b true; Lit.make c false ];
+    Clause.of_list [ Lit.make a true; Lit.make b false; Lit.make c true ];
+  ]
+
+(* Emit CNF of a <-> b (2 clauses). *)
+let eq2 a b =
+  [
+    Clause.of_list [ Lit.make a false; Lit.make b true ];
+    Clause.of_list [ Lit.make a true; Lit.make b false ];
+  ]
+
+let generate rng p =
+  if p.core < 1 || p.branches < 1 || p.lpc < 1 then
+    invalid_arg "Fpv.generate: bad parameters";
+  let next = ref 0 in
+  let fresh k =
+    let vs = List.init k (fun i -> !next + i) in
+    next := !next + k;
+    vs
+  in
+  let core = Array.of_list (fresh p.core) in
+  let clauses = ref [] in
+  (* Each requirement check: the witness chain w_0..w_env accumulates the
+     parity of the universal environment (w_i <-> w_{i+1} xor u_{i+1}),
+     the chain is anchored in the shared core at both ends, and a few
+     random clauses over core and witness variables model the local
+     requirement logic.  Verifying a branch forces the existential player
+     to answer every environment assignment — the per-branch work that a
+     prenexing multiplies across branches while the original non-prenex
+     structure keeps it additive. *)
+  let branch () =
+    let env = fresh p.env in
+    let wit = fresh (p.env + 1) in
+    let wit_a = Array.of_list wit in
+    List.iteri
+      (fun i u ->
+        clauses := xor3 wit_a.(i) wit_a.(i + 1) u @ !clauses)
+      env;
+    (* anchor the deep end of the chain in the core *)
+    let anchor = core.(Rng.int rng (Array.length core)) in
+    clauses := eq2 wit_a.(Array.length wit_a - 1) anchor @ !clauses;
+    (* requirement logic: random clauses over core + witnesses (at least
+       one witness literal each, so they sit in this branch's scope) *)
+    let exist_pool = Array.append core wit_a in
+    for _ = 1 to p.cls do
+      let lits = Hashtbl.create 8 in
+      let draw arr =
+        let v = arr.(Rng.int rng (Array.length arr)) in
+        if not (Hashtbl.mem lits v) then Hashtbl.replace lits v (Rng.bool rng)
+      in
+      draw wit_a;
+      while Hashtbl.length lits < p.lpc do
+        draw exist_pool
+      done;
+      clauses :=
+        Clause.of_list
+          (Hashtbl.fold (fun v sign acc -> Lit.make v sign :: acc) lits [])
+        :: !clauses
+    done;
+    Prefix.node Quant.Forall env [ Prefix.node Quant.Exists wit [] ]
+  in
+  let children = List.init p.branches (fun _ -> branch ()) in
+  let root = Prefix.node Quant.Exists (Array.to_list core) children in
+  let prefix = Prefix.of_forest ~nvars:!next [ root ] in
+  Formula.make prefix !clauses

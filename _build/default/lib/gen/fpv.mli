@@ -1,0 +1,19 @@
+(** FPV-style instances (the paper's Section VII-B suite): synthetic
+    requirement-checking QBFs with a shared existential core under a
+    conjunction of independent ∀ environment ∃ witness checks — a wide,
+    shallow non-prenex quantifier tree. *)
+
+open Qbf_core
+
+type params = {
+  core : int; (** shared existential core variables *)
+  branches : int; (** independent requirement checks *)
+  env : int;
+      (** universal environment variables per branch; each branch's
+          witness chain has [env + 1] existential variables *)
+  cls : int; (** clauses per branch *)
+  lpc : int; (** literals per clause *)
+}
+
+val default : params
+val generate : Rng.t -> params -> Formula.t

@@ -1,0 +1,117 @@
+(* NCF-style instances: nested-counterfactual QBFs (Section VII-A).
+
+   The paper uses the generator of Egly, Seidl, Tompits, Woltran and
+   Zolda [12] (privately provided to the authors): QBF encodings of
+   nested counterfactuals ("if p were the case, q would hold"), which
+   are naturally non-prenex — every nesting level contributes its own
+   ∀∃ quantifier pair, and independent sub-counterfactuals sit in
+   sibling subtrees.
+
+   This module substitutes a structurally faithful generator with the
+   same parameter space 〈DEP, VAR, CLS, LPC〉: a quantifier tree of
+   alternation depth 2·DEP where each level binds VAR existential
+   variables and about VAR/2 universal ones, branching into one or two
+   sub-counterfactuals, with CLS clauses of LPC literals per node drawn
+   over the variables on the node's root path (biased towards the local
+   block, at least one existential literal each).  This preserves the
+   property the experiment exercises: deep narrow quantifier trees whose
+   prenexings constrain the branching heuristic. *)
+
+open Qbf_core
+
+type params = {
+  dep : int; (* nesting depth *)
+  var : int; (* existential variables per level *)
+  cls : int; (* total clauses (the paper sweeps CLS/VAR in 1..5) *)
+  lpc : int; (* literals per clause *)
+}
+
+let default = { dep = 6; var = 4; cls = 12; lpc = 3 }
+
+let generate rng p =
+  if p.dep < 1 || p.var < 1 || p.lpc < 1 then
+    invalid_arg "Ncf.generate: bad parameters";
+  let next = ref 0 in
+  let fresh k =
+    let vs = List.init k (fun i -> !next + i) in
+    next := !next + k;
+    vs
+  in
+  let quant_of = Hashtbl.create 64 in
+  let mark q vs = List.iter (fun v -> Hashtbl.replace quant_of v q) vs in
+  (* First build the quantifier tree, collecting each node's root-path
+     variable pool; the CLS clauses are then distributed over the
+     nodes. *)
+  let pools = ref [] in
+  let rec node depth pool =
+    let evars = fresh p.var in
+    mark Quant.Exists evars;
+    let pool = pool @ evars in
+    pools := (pool, evars) :: !pools;
+    if depth <= 1 then Prefix.node Quant.Exists evars []
+    else begin
+      (* The root always splits into two sub-counterfactuals (so every
+         instance is genuinely non-prenex); one deeper level may split
+         again. *)
+      let width =
+        if depth = p.dep then 2
+        else if depth = p.dep - 1 then 1 + Rng.int rng 2
+        else 1
+      in
+      let children =
+        List.init width (fun _ ->
+            let uvars = fresh (max 1 (p.var / 2)) in
+            mark Quant.Forall uvars;
+            Prefix.node Quant.Forall uvars [ node (depth - 1) (pool @ uvars) ])
+      in
+      Prefix.node Quant.Exists evars children
+    end
+  in
+  let root = node p.dep [] in
+  let pools = Array.of_list !pools in
+  let clauses = ref [] in
+  for _ = 1 to p.cls do
+    let pool, local = pools.(Rng.int rng (Array.length pools)) in
+    let pool_a = Array.of_list pool and local_a = Array.of_list local in
+    let univ_a =
+      Array.of_list
+        (List.filter (fun v -> Hashtbl.find quant_of v = Quant.Forall) pool)
+    in
+    let lits = Hashtbl.create 8 in
+    let draw arr =
+      let v = arr.(Rng.int rng (Array.length arr)) in
+      if not (Hashtbl.mem lits v) then Hashtbl.replace lits v (Rng.bool rng)
+    in
+    (* One local existential literal (an all-universal clause is
+       contradictory outright, Lemma 4), usually one universal literal
+       from the path — the interplay that makes the counterfactual
+       nesting bite — and the rest from the whole path. *)
+    draw local_a;
+    if Array.length univ_a > 0 && Rng.int rng 4 > 0 then draw univ_a;
+    let target = min p.lpc (Array.length pool_a) in
+    let attempts = ref 0 in
+    while Hashtbl.length lits < target && !attempts < 20 * target do
+      incr attempts;
+      if Rng.bool rng then draw local_a else draw pool_a
+    done;
+    let has_exist =
+      Hashtbl.fold
+        (fun v _ acc -> acc || Hashtbl.find quant_of v = Quant.Exists)
+        lits false
+    in
+    if not has_exist then draw local_a;
+    clauses :=
+      Clause.of_list
+        (Hashtbl.fold (fun v sign acc -> Lit.make v sign :: acc) lits [])
+      :: !clauses
+  done;
+  let prefix = Prefix.of_forest ~nvars:!next [ root ] in
+  Formula.make prefix !clauses
+
+(* The paper sweeps the ratio CLS/VAR; the total variable count of an
+   instance depends on the random tree shape, so this convenience
+   generates with [cls = ratio * total variables]. *)
+let generate_ratio rng ~dep ~var ~ratio ~lpc =
+  let probe = generate rng { dep; var; cls = 0; lpc } in
+  let nvars = Formula.nvars probe in
+  generate rng { dep; var; cls = int_of_float (ratio *. float_of_int nvars); lpc }

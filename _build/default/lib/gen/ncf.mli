@@ -1,0 +1,21 @@
+(** NCF-style nested-counterfactual QBFs (the paper's Section VII-A
+    suite), generated with the same parameter space 〈DEP, VAR, CLS,
+    LPC〉 as the Egly et al. generator the paper uses: deep, narrow,
+    branching non-prenex quantifier trees. *)
+
+open Qbf_core
+
+type params = {
+  dep : int; (** nesting depth (the paper fixes 6) *)
+  var : int; (** existential variables per level (4, 8 or 16) *)
+  cls : int; (** total clauses (the paper sweeps CLS/VAR in 1..5) *)
+  lpc : int; (** literals per clause (3..6) *)
+}
+
+val default : params
+val generate : Rng.t -> params -> Formula.t
+
+(** Generate with [cls = ratio * total-variables] (the tree shape is
+    random, so the total count varies per instance). *)
+val generate_ratio :
+  Rng.t -> dep:int -> var:int -> ratio:float -> lpc:int -> Formula.t

@@ -1,0 +1,127 @@
+(* Random QBF generators.
+
+   [prenex] is the generalised fixed-clause-length model of the paper's
+   "probabilistic" QBFEVAL class [35]: an alternating prefix of given
+   depth and a random k-CNF matrix with a minimum number of existential
+   literals per clause (all-universal clauses are trivially contradictory,
+   Lemma 4, so the standard model requires at least one, usually two,
+   existential literals).
+
+   [tree] produces random NON-prenex QBFs over random quantifier forests;
+   it exists for differential testing of the solver and of the prenexing
+   and miniscoping passes, not as a paper benchmark. *)
+
+open Qbf_core
+
+let alternating_blocks rng ~nvars ~levels ~first =
+  (* Split [0..nvars) into [levels] contiguous non-empty blocks with
+     alternating quantifiers, outermost first. *)
+  let levels = max 1 (min levels nvars) in
+  (* Random cut points. *)
+  let cuts = Array.to_list (Rng.sample rng (levels - 1) (nvars - 1)) in
+  let cuts = List.sort Int.compare (List.map (fun c -> c + 1) cuts) in
+  let bounds = (0 :: cuts) @ [ nvars ] in
+  let rec blocks q = function
+    | lo :: (hi :: _ as rest) ->
+        (q, List.init (hi - lo) (fun i -> lo + i)) :: blocks (Quant.flip q) rest
+    | _ -> []
+  in
+  blocks first bounds
+
+let random_clause rng ~prefix ~nvars ~len ~min_exists =
+  let num_exist =
+    List.length (List.filter (Prefix.is_exists prefix) (List.init nvars Fun.id))
+  in
+  let k = min len nvars in
+  (* The requirement is only achievable up to the clause length and the
+     number of existential variables available. *)
+  let needed = min min_exists (min k num_exist) in
+  let rec draw () =
+    let vars = Rng.sample rng k nvars in
+    let n_e =
+      Array.fold_left
+        (fun n v -> if Prefix.is_exists prefix v then n + 1 else n)
+        0 vars
+    in
+    if n_e >= needed then vars else draw ()
+  in
+  let vars = draw () in
+  Clause.of_list
+    (Array.to_list (Array.map (fun v -> Lit.make v (Rng.bool rng)) vars))
+
+let prenex rng ~nvars ~levels ~nclauses ~len ?(min_exists = 2) ?(first = Quant.Exists) () =
+  if nvars < 1 then invalid_arg "Randqbf.prenex: nvars must be >= 1";
+  let blocks = alternating_blocks rng ~nvars ~levels ~first in
+  let prefix = Prefix.of_blocks ~nvars blocks in
+  let matrix =
+    List.init nclauses (fun _ ->
+        random_clause rng ~prefix ~nvars ~len ~min_exists)
+  in
+  Formula.make prefix matrix
+
+(* Random quantifier forest: recursively create nodes with random
+   quantifiers, block sizes and fan-out until the variable budget runs
+   out. *)
+let random_forest rng ~nvars ~max_fanout ~max_block =
+  let next = ref 0 in
+  let take k =
+    let k = min k (nvars - !next) in
+    let vars = List.init k (fun i -> !next + i) in
+    next := !next + k;
+    vars
+  in
+  let rec node budget =
+    let q = if Rng.bool rng then Quant.Exists else Quant.Forall in
+    let vars = take (1 + Rng.int rng max_block) in
+    if vars = [] then None
+    else begin
+      let fanout = Rng.int rng (max_fanout + 1) in
+      let children =
+        if budget <= 0 then []
+        else List.filter_map (fun _ -> node (budget - 1)) (List.init fanout Fun.id)
+      in
+      Some (Prefix.node q vars children)
+    end
+  in
+  let rec roots () =
+    if !next >= nvars then []
+    else
+      match node 4 with
+      | None -> []
+      | Some r -> r :: roots ()
+  in
+  roots ()
+
+(* Clauses of an actual non-prenex QBF sit at one syntactic position, so
+   their variables lie on a single root path of the quantifier forest:
+   pick a random root-to-leaf block path and sample the clause variables
+   from the blocks along it. *)
+let random_path_clause rng prefix =
+  let roots =
+    List.filter
+      (fun b -> Prefix.block_parent prefix b = -1)
+      (List.init (Prefix.num_blocks prefix) Fun.id)
+  in
+  let rec walk acc b =
+    let acc = Array.to_list (Prefix.block_vars prefix b) @ acc in
+    let children = Prefix.block_children prefix b in
+    if Array.length children = 0 || Rng.int rng 4 = 0 then acc
+    else walk acc children.(Rng.int rng (Array.length children))
+  in
+  let pool = Array.of_list (walk [] (Rng.pick rng roots)) in
+  pool
+
+let tree rng ~nvars ~nclauses ~len ?(max_fanout = 3) ?(max_block = 2) () =
+  if nvars < 1 then invalid_arg "Randqbf.tree: nvars must be >= 1";
+  let forest = random_forest rng ~nvars ~max_fanout ~max_block in
+  let prefix = Prefix.of_forest ~nvars forest in
+  let matrix =
+    List.init nclauses (fun _ ->
+        let pool = random_path_clause rng prefix in
+        let k = min len (Array.length pool) in
+        let idx = Rng.sample rng k (Array.length pool) in
+        Clause.of_list
+          (Array.to_list
+             (Array.map (fun i -> Lit.make pool.(i) (Rng.bool rng)) idx)))
+  in
+  Formula.make prefix matrix

@@ -1,0 +1,33 @@
+(** Random QBF generators: the generalised fixed-clause-length prenex
+    model (the QBFEVAL "probabilistic" class, [35] in the paper) and
+    random non-prenex quantifier-forest QBFs for differential testing. *)
+
+open Qbf_core
+
+(** [prenex rng ~nvars ~levels ~nclauses ~len ()] draws a prenex QBF with
+    [levels] alternating blocks (outermost quantifier [first], default
+    existential) over a random [len]-CNF matrix whose clauses contain at
+    least [min_exists] (default 2) existential literals. *)
+val prenex :
+  Rng.t ->
+  nvars:int ->
+  levels:int ->
+  nclauses:int ->
+  len:int ->
+  ?min_exists:int ->
+  ?first:Quant.t ->
+  unit ->
+  Formula.t
+
+(** [tree rng ~nvars ~nclauses ~len ()] draws a non-prenex QBF over a
+    random quantifier forest (fan-out up to [max_fanout], block size up
+    to [max_block]); clauses contain at least one existential literal. *)
+val tree :
+  Rng.t ->
+  nvars:int ->
+  nclauses:int ->
+  len:int ->
+  ?max_fanout:int ->
+  ?max_block:int ->
+  unit ->
+  Formula.t

@@ -1,0 +1,68 @@
+(* Deterministic splitmix64 PRNG so every generated benchmark instance is
+   reproducible from its seed, independently of the OCaml stdlib. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992. (* 2^53 *)
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(* [sample t k n] draws [k] distinct ints from [0, n). *)
+let sample t k n =
+  if k > n then invalid_arg "Rng.sample: k > n";
+  if 3 * k >= n then Array.sub (shuffle t (Array.init n Fun.id)) 0 k
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let x = int t n in
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        out.(!filled) <- x;
+        incr filled
+      end
+    done;
+    out
+  end
+
+(* Derive an independent stream (for per-instance seeding). *)
+let split t = { state = next_int64 t }

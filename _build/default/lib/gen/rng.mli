@@ -1,0 +1,29 @@
+(** Deterministic splitmix64 PRNG: all benchmark instances are
+    reproducible from their seeds, independent of the OCaml stdlib. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [lo, hi], inclusive. *)
+val range : t -> int -> int -> int
+
+val pick : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle of a copy. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample t k n] draws [k] distinct ints from [0, n). *)
+val sample : t -> int -> int -> int array
+
+(** Derive an independent stream. *)
+val split : t -> t

@@ -1,0 +1,1 @@
+lib/io/nqdimacs.ml: Buffer Clause Format Formula Fun List Lit Prefix Qbf_core Quant String

@@ -1,0 +1,1 @@
+lib/io/nqdimacs.mli: Format Qbf_core

@@ -1,0 +1,1 @@
+lib/io/qdimacs.ml: Clause Format Formula Fun List Lit Prefix Qbf_core Quant String

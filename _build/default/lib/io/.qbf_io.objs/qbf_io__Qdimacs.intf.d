@@ -1,0 +1,1 @@
+lib/io/qdimacs.mli: Format Qbf_core

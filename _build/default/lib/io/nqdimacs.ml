@@ -1,0 +1,199 @@
+(* NQDIMACS: a QDIMACS-like exchange format for NON-prenex QBFs.
+
+     c <comment>
+     p ncnf <nvars> <nclauses>
+     t (e 1 (a 2 (e 3 4)) (a 5 (e 6 7)))
+     1 -3 0
+     ...
+
+   The single `t` entry holds the quantifier forest as s-expressions
+   (possibly spanning several lines, up to the first clause): each tree is
+   `(e|a v1 v2 ... subtree ...)` with 1-based variables.  Unbound
+   variables are implicitly outermost existentials, as in the paper.
+   Clauses are DIMACS-style, 0-terminated. *)
+
+open Qbf_core
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize s =
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      toks := `Atom (Buffer.contents buf) :: !toks;
+      Buffer.clear buf)
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '(' ->
+          flush ();
+          toks := `Open :: !toks
+      | ')' ->
+          flush ();
+          toks := `Close :: !toks
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !toks
+
+let parse_sexps toks =
+  let rec items acc = function
+    | `Close :: rest -> (List.rev acc, rest)
+    | `Open :: rest ->
+        let inner, rest = items [] rest in
+        items (List inner :: acc) rest
+    | `Atom a :: rest -> items (Atom a :: acc) rest
+    | [] -> fail "unbalanced '(' in quantifier tree"
+  in
+  let rec top acc = function
+    | [] -> List.rev acc
+    | `Open :: rest ->
+        let inner, rest = items [] rest in
+        top (List inner :: acc) rest
+    | `Atom a :: rest -> top (Atom a :: acc) rest
+    | `Close :: _ -> fail "unbalanced ')' in quantifier tree"
+  in
+  top [] toks
+
+let rec tree_of_sexp nvars = function
+  | List (Atom q :: rest) ->
+      let quant =
+        match q with
+        | "e" -> Quant.Exists
+        | "a" -> Quant.Forall
+        | _ -> fail "unknown quantifier %S" q
+      in
+      let vars, children =
+        List.fold_left
+          (fun (vars, children) item ->
+            match item with
+            | Atom a -> (
+                match int_of_string_opt a with
+                | Some n when n >= 1 && n <= nvars ->
+                    ((n - 1) :: vars, children)
+                | Some n -> fail "variable %d out of range" n
+                | None -> fail "unexpected atom %S in tree" a)
+            | List _ as sub ->
+                (vars, tree_of_sexp nvars sub :: children))
+          ([], []) rest
+      in
+      Prefix.node quant (List.rev vars) (List.rev children)
+  | List [] -> fail "empty tree node"
+  | List (List _ :: _) -> fail "tree node must start with a quantifier"
+  | Atom a -> fail "expected a tree, got atom %S" a
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    List.filter
+      (fun l ->
+        let l = String.trim l in
+        l <> "" && l.[0] <> 'c')
+      lines
+  in
+  match lines with
+  | [] -> fail "empty input"
+  | header :: rest -> (
+      match
+        String.split_on_char ' ' (String.trim header)
+        |> List.filter (fun w -> w <> "")
+      with
+      | [ "p"; "ncnf"; nv; _nc ] ->
+          let nvars =
+            match int_of_string_opt nv with
+            | Some n when n >= 0 -> n
+            | _ -> fail "bad variable count %S" nv
+          in
+          (* Everything from the `t` marker up to the first clause line is
+             tree text; clause lines start with an integer. *)
+          let rec split_tree acc = function
+            | [] -> (List.rev acc, [])
+            | line :: rest ->
+                let w = String.trim line in
+                if String.length w > 0 && (w.[0] = 't' || w.[0] = '(') then
+                  let body =
+                    if w.[0] = 't' then String.sub w 1 (String.length w - 1)
+                    else w
+                  in
+                  split_tree (body :: acc) rest
+                else (List.rev acc, line :: rest)
+          in
+          let tree_lines, clause_lines = split_tree [] rest in
+          let sexps = parse_sexps (tokenize (String.concat " " tree_lines)) in
+          let forest = List.map (tree_of_sexp nvars) sexps in
+          let prefix = Prefix.of_forest ~nvars forest in
+          let ints =
+            List.concat_map
+              (fun line ->
+                String.split_on_char ' ' (String.trim line)
+                |> List.filter_map (fun w ->
+                       if w = "" then None
+                       else
+                         match int_of_string_opt w with
+                         | Some n -> Some n
+                         | None -> fail "unexpected token %S in matrix" w))
+              clause_lines
+          in
+          let rec clauses acc cur = function
+            | 0 :: rest ->
+                clauses (Clause.of_dimacs_list (List.rev cur) :: acc) [] rest
+            | n :: rest ->
+                if abs n > nvars then fail "literal %d out of range" n;
+                clauses acc (n :: cur) rest
+            | [] ->
+                if cur <> [] then fail "unterminated clause";
+                List.rev acc
+          in
+          Formula.make prefix (clauses [] [] ints)
+      | _ -> fail "expected 'p ncnf <nvars> <nclauses>' header")
+
+let parse_channel ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  parse_string (Buffer.contents buf)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
+
+let rec print_tree fmt (Prefix.Node (q, vars, children)) =
+  Format.fprintf fmt "(%s" (Quant.symbol q);
+  List.iter (fun v -> Format.fprintf fmt " %d" (v + 1)) vars;
+  List.iter (fun c -> Format.fprintf fmt " %a" print_tree c) children;
+  Format.fprintf fmt ")"
+
+let print fmt formula =
+  let prefix = Formula.prefix formula in
+  let matrix = Formula.matrix formula in
+  Format.fprintf fmt "p ncnf %d %d@\n" (Prefix.nvars prefix)
+    (List.length matrix);
+  Format.fprintf fmt "t";
+  List.iter (fun r -> Format.fprintf fmt " %a" print_tree r) (Prefix.roots prefix);
+  Format.fprintf fmt "@\n";
+  List.iter
+    (fun c ->
+      Clause.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_dimacs l)) c;
+      Format.fprintf fmt "0@\n")
+    matrix
+
+let to_string formula = Format.asprintf "%a" print formula
+
+let write_file path formula =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let fmt = Format.formatter_of_out_channel oc in
+      print fmt formula;
+      Format.pp_print_flush fmt ())

@@ -1,0 +1,130 @@
+(* QDIMACS reader/writer (prenex CNF).
+
+   Format:
+     c <comment>
+     p cnf <nvars> <nclauses>
+     e 1 2 0          quantifier lines, outermost first
+     a 3 0
+     ...
+     1 -3 0           clauses, 0-terminated, may span lines
+
+   Variables are 1-based externally and mapped to the dense 0-based
+   variables of {!Qbf_core.Lit}. *)
+
+open Qbf_core
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token = Word of string | Num of int
+
+let tokenize_lines lines =
+  (* Comment lines are dropped whole; everything else is split on
+     whitespace. *)
+  let toks = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || (String.length line > 0 && line.[0] = 'c') then ()
+      else
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.iter (fun w ->
+               if w <> "" then
+                 match int_of_string_opt w with
+                 | Some n -> toks := Num n :: !toks
+                 | None -> toks := Word w :: !toks))
+    lines;
+  List.rev !toks
+
+let parse_tokens toks =
+  let rec skip_to_header = function
+    | Word "p" :: Word "cnf" :: Num nvars :: Num nclauses :: rest ->
+        (nvars, nclauses, rest)
+    | [] -> fail "missing 'p cnf' header"
+    | _ :: rest -> skip_to_header rest
+  in
+  let nvars, _declared_clauses, rest = skip_to_header toks in
+  if nvars < 0 then fail "negative variable count";
+  (* Quantifier lines: sequences introduced by 'e'/'a', 0-terminated. *)
+  let rec quant_blocks acc = function
+    | Word w :: rest when w = "e" || w = "a" ->
+        let q = if w = "e" then Quant.Exists else Quant.Forall in
+        let rec vars acc_vars = function
+          | Num 0 :: rest -> (List.rev acc_vars, rest)
+          | Num n :: rest when n > 0 && n <= nvars ->
+              vars ((n - 1) :: acc_vars) rest
+          | Num n :: _ -> fail "bad variable %d in quantifier block" n
+          | Word w :: _ -> fail "unexpected word %S in quantifier block" w
+          | [] -> fail "unterminated quantifier block"
+        in
+        let vs, rest = vars [] rest in
+        quant_blocks ((q, vs) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let blocks, rest = quant_blocks [] rest in
+  (* Clauses: 0-terminated integer runs. *)
+  let rec clauses acc cur = function
+    | Num 0 :: rest -> clauses (Clause.of_dimacs_list (List.rev cur) :: acc) [] rest
+    | Num n :: rest ->
+        if abs n > nvars then fail "literal %d out of range" n;
+        clauses acc (n :: cur) rest
+    | Word w :: _ -> fail "unexpected word %S in matrix" w
+    | [] ->
+        if cur <> [] then fail "unterminated clause";
+        List.rev acc
+  in
+  let matrix = clauses [] [] rest in
+  let prefix = Prefix.of_blocks ~nvars blocks in
+  Formula.make prefix matrix
+
+let parse_string s =
+  parse_tokens (tokenize_lines (String.split_on_char '\n' s))
+
+let parse_channel ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  parse_tokens (tokenize_lines (List.rev !lines))
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
+
+let print_blocks fmt blocks =
+  List.iter
+    (fun (q, vars) ->
+      if vars <> [] then (
+        Format.fprintf fmt "%s" (Quant.symbol q);
+        List.iter (fun v -> Format.fprintf fmt " %d" (v + 1)) vars;
+        Format.fprintf fmt " 0@\n"))
+    blocks
+
+let print fmt formula =
+  let prefix = Formula.prefix formula in
+  if not (Prefix.is_prenex prefix) then
+    invalid_arg "Qdimacs.print: formula is not in prenex form";
+  let matrix = Formula.matrix formula in
+  Format.fprintf fmt "p cnf %d %d@\n" (Prefix.nvars prefix)
+    (List.length matrix);
+  print_blocks fmt (Prefix.blocks_outermost_first prefix);
+  List.iter
+    (fun c ->
+      Clause.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_dimacs l)) c;
+      Format.fprintf fmt "0@\n")
+    matrix
+
+let to_string formula = Format.asprintf "%a" print formula
+
+let write_file path formula =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let fmt = Format.formatter_of_out_channel oc in
+      print fmt formula;
+      Format.pp_print_flush fmt ())

@@ -1,0 +1,1 @@
+lib/models/bexpr.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/models/diameter.ml: Bexpr Clause Formula List Lit Model Prefix Qbf_core Qbf_prenex Qbf_solver Quant Tseitin

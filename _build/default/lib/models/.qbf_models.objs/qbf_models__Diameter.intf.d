@@ -1,0 +1,1 @@
+lib/models/diameter.mli: Formula Model Qbf_core Qbf_solver

@@ -1,0 +1,1 @@
+lib/models/families.ml: Bexpr Fun List Model Printf String

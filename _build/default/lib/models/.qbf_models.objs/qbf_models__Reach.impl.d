@@ -1,0 +1,1 @@
+lib/models/reach.ml: Array Model Queue

@@ -1,0 +1,1 @@
+lib/models/smv.ml: Bexpr Filename Format Fun Hashtbl List Model String

@@ -1,0 +1,1 @@
+lib/models/smv.mli: Format Model

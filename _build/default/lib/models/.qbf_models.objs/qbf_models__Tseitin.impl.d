@@ -1,0 +1,1 @@
+lib/models/tseitin.ml: Bexpr Hashtbl List Lit Qbf_core

@@ -1,0 +1,1 @@
+lib/models/tseitin.mli: Bexpr Lit Qbf_core

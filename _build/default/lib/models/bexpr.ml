@@ -1,0 +1,147 @@
+(* Boolean expressions over integer-indexed variables: the modelling
+   language of the symbolic-model substrate (initial conditions and
+   transition relations, Section VII-C of the paper). *)
+
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Iff of t * t
+
+(* Smart constructors perform constant folding and flattening so that
+   compiled formulas contain no constants below the top level. *)
+
+let tru = True
+let fls = False
+let var v = Var v
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not a -> a
+  | a -> Not a
+
+let and_ xs =
+  let rec flat acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> flat acc rest
+    | False :: _ -> None
+    | And ys :: rest -> flat acc (ys @ rest)
+    | x :: rest -> flat (x :: acc) rest
+  in
+  match flat [] xs with
+  | None -> False
+  | Some [] -> True
+  | Some [ x ] -> x
+  | Some xs -> And xs
+
+let or_ xs =
+  let rec flat acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> flat acc rest
+    | True :: _ -> None
+    | Or ys :: rest -> flat acc (ys @ rest)
+    | x :: rest -> flat (x :: acc) rest
+  in
+  match flat [] xs with
+  | None -> True
+  | Some [] -> False
+  | Some [ x ] -> x
+  | Some xs -> Or xs
+
+let iff a b =
+  match (a, b) with
+  | True, x | x, True -> x
+  | False, x | x, False -> not_ x
+  | a, b -> Iff (a, b)
+
+let implies a b = or_ [ not_ a; b ]
+let xor a b = not_ (iff a b)
+let lit v sign = if sign then Var v else Not (Var v)
+
+(* Negation normal form: push negations down to variables AND eliminate
+   Iff nodes ([Iff(a,b)] becomes [(a∧b) ∨ (¬a∧¬b)]).  The result
+   contains only And/Or over literals, so the polarity-aware CNF
+   conversion produces exclusively one-directional gates — the shape
+   whose covers (initial goods of solution learning) can always fall
+   back on negated gate literals.  Exponential for deeply nested Iff;
+   the model formulas only use shallow ones. *)
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | Var v -> Var v
+  | And xs -> and_ (List.map nnf xs)
+  | Or xs -> or_ (List.map nnf xs)
+  | Iff (a, b) ->
+      or_ [ and_ [ nnf a; nnf b ]; and_ [ nnf_neg a; nnf_neg b ] ]
+  | Not a -> nnf_neg a
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Var v -> Not (Var v)
+  | Not a -> nnf a
+  | And xs -> or_ (List.map nnf_neg xs)
+  | Or xs -> and_ (List.map nnf_neg xs)
+  | Iff (a, b) ->
+      or_ [ and_ [ nnf a; nnf_neg b ]; and_ [ nnf_neg a; nnf b ] ]
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not a -> not (eval env a)
+  | And xs -> List.for_all (eval env) xs
+  | Or xs -> List.exists (eval env) xs
+  | Iff (a, b) -> eval env a = eval env b
+
+let rec map_vars f = function
+  | True -> True
+  | False -> False
+  | Var v -> Var (f v)
+  | Not a -> Not (map_vars f a)
+  | And xs -> And (List.map (map_vars f) xs)
+  | Or xs -> Or (List.map (map_vars f) xs)
+  | Iff (a, b) -> Iff (map_vars f a, map_vars f b)
+
+let rec vars acc = function
+  | True | False -> acc
+  | Var v -> v :: acc
+  | Not a -> vars acc a
+  | And xs | Or xs -> List.fold_left vars acc xs
+  | Iff (a, b) -> vars (vars acc a) b
+
+let vars e = List.sort_uniq Int.compare (vars [] e)
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not a -> 1 + size a
+  | And xs | Or xs -> List.fold_left (fun n x -> n + size x) 1 xs
+  | Iff (a, b) -> 1 + size a + size b
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Var v -> Format.fprintf fmt "v%d" v
+  | Not a -> Format.fprintf fmt "!%a" pp_atom a
+  | And xs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+           pp_atom)
+        xs
+  | Or xs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+           pp_atom)
+        xs
+  | Iff (a, b) -> Format.fprintf fmt "(%a <-> %a)" pp_atom a pp_atom b
+
+and pp_atom fmt e =
+  match e with
+  | True | False | Var _ | Not _ -> pp fmt e
+  | _ -> Format.fprintf fmt "%a" pp e

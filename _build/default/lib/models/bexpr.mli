@@ -1,0 +1,45 @@
+(** Boolean expressions over integer-indexed variables — the modelling
+    language for initial conditions and transition relations
+    (Section VII-C of the paper). *)
+
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Iff of t * t
+
+(** {1 Smart constructors} (constant-folding and flattening) *)
+
+val tru : t
+val fls : t
+val var : int -> t
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val iff : t -> t -> t
+val implies : t -> t -> t
+val xor : t -> t -> t
+
+(** [lit v sign] is [Var v] or its negation. *)
+val lit : int -> bool -> t
+
+(** Negation normal form: negations pushed down to variables ([Iff]
+    nodes are kept, with one side negated under an odd number of
+    negations). *)
+val nnf : t -> t
+
+val eval : (int -> bool) -> t -> bool
+
+(** Rename variables. *)
+val map_vars : (int -> int) -> t -> t
+
+(** Free variables, sorted, without duplicates. *)
+val vars : t -> int list
+
+(** Node count. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

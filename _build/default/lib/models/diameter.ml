@@ -1,0 +1,148 @@
+(* The diameter QBFs of Section VII-C.
+
+   phi_n (eq. (14)) is true exactly when n < d, where d is the
+   state-space diameter (the eccentricity of the initial-state set):
+
+     ∃x_{n+1} ( ∃x_0..x_n (I(x_0) ∧ ⋀_{i=0..n} T'(x_i, x_{i+1}))
+              ∧ ∀y_0..y_n ¬(I(y_0) ∧ ⋀_{i=0..n-1} T'(y_i, y_{i+1})
+                            ∧ x_{n+1} ≡ y_n) )
+
+   with T' of eq. (15) (self-loop on initial states) in both chains, so
+   each chain reads "reachable within k steps".  The quantifier tree
+   keeps the x-chain and the y-chain in separate branches — this is the
+   non-prenex structure QuBE(PO) exploits — and the auxiliary variables
+   of the CNF conversion of the negated part sit innermost below the
+   universals, giving the paper's prefix (18).  The prenex variant (16)
+   with prefix (19) is exactly the ∃↑∀↑ prenexing of this tree. *)
+
+open Qbf_core
+
+type layout = {
+  formula : Formula.t;
+  x_state : int -> int -> int; (* x_state j i = variable of bit i of x^j *)
+  y_state : int -> int -> int;
+  n : int;
+  first_aux : int; (* CNF-conversion variables are >= first_aux *)
+}
+
+let build model ~n =
+  if n < 0 then invalid_arg "Diameter.build: n must be >= 0";
+  let bits = Model.bits model in
+  let x_state j i = (j * bits) + i in
+  let y_state j i = ((n + 2) * bits) + (j * bits) + i in
+  let next_var = ref ((n + 2 + n + 1) * bits) in
+  let clauses = ref [] in
+  let emit lits = clauses := Clause.of_list lits :: !clauses in
+  let fwd_aux = ref [] and neg_aux = ref [] in
+  let fresh_into pool () =
+    let v = !next_var in
+    incr next_var;
+    pool := v :: !pool;
+    v
+  in
+  let env v = Lit.of_var v in
+  let t' = Model.trans' model in
+  (* Forward section: I(x^0) and the T' chain, variables pre-substituted
+     so one conversion context shares gates across steps. *)
+  let fwd_ctx =
+    Tseitin.create ~fresh:(fresh_into fwd_aux) ~emit ~env
+  in
+  let at_x j e = Bexpr.map_vars (fun v ->
+      if v < bits then x_state j v else x_state (j + 1) (v - bits)) e
+  in
+  Tseitin.assert_true fwd_ctx (Bexpr.map_vars (x_state 0) (Model.init model));
+  for i = 0 to n do
+    Tseitin.assert_true fwd_ctx (at_x i t')
+  done;
+  (* Negated section: ¬(I(y^0) ∧ ⋀ T'(y^i,y^{i+1}) ∧ x^{n+1} ≡ y^n). *)
+  let neg_ctx = Tseitin.create ~fresh:(fresh_into neg_aux) ~emit ~env in
+  let at_y j e = Bexpr.map_vars (fun v ->
+      if v < bits then y_state j v else y_state (j + 1) (v - bits)) e
+  in
+  let eq_final =
+    Bexpr.and_
+      (List.init bits (fun i ->
+           Bexpr.iff (Bexpr.var (x_state (n + 1) i)) (Bexpr.var (y_state n i))))
+  in
+  let conjuncts =
+    Bexpr.map_vars (y_state 0) (Model.init model)
+    :: List.init n (fun i -> at_y i t')
+    @ [ eq_final ]
+  in
+  (* The negated part is asserted as the NNF disjunction of the negated
+     conjuncts with one-directional (Plaisted–Greenbaum) gates.  This is
+     the cascade-friendly shape of the paper's own Section VII-C
+     example: each gate occurs positively in the top disjunction and
+     negatively in its definitions, so once the deviating conjunct's
+     subtree is satisfied by the universal assignment, the remaining
+     gates and the deeper universal variables all become pure and the
+     branch closes early with a short good. *)
+  Tseitin.assert_true neg_ctx (Bexpr.nnf (Bexpr.not_ (Bexpr.and_ conjuncts)));
+  (* Quantifier tree: prefix (18) of the paper. *)
+  let range f lo hi = List.concat_map (fun j -> List.init bits (f j)) (List.init (hi - lo + 1) (fun k -> lo + k)) in
+  let x_top = List.init bits (x_state (n + 1)) in
+  let x_chain = range x_state 0 n @ List.rev !fwd_aux in
+  let y_all = range y_state 0 n in
+  let tree =
+    Prefix.node Quant.Exists x_top
+      [
+        Prefix.node Quant.Exists x_chain [];
+        Prefix.node Quant.Forall y_all
+          [ Prefix.node Quant.Exists (List.rev !neg_aux) [] ];
+      ]
+  in
+  let prefix = Prefix.of_forest ~nvars:!next_var [ tree ] in
+  {
+    formula = Formula.make prefix (List.rev !clauses);
+    x_state;
+    y_state;
+    n;
+    first_aux = (n + 2 + n + 1) * bits;
+  }
+
+(* The non-prenex phi_n of eq. (14). *)
+let phi model ~n = (build model ~n).formula
+
+(* The prenex phi_n of eq. (16): the ∃↑∀↑ prenexing of (14). *)
+let phi_prenex model ~n =
+  Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up (phi model ~n)
+
+type style = Nonprenex | Prenex
+
+let phi_styled model ~style ~n =
+  match style with
+  | Nonprenex -> phi model ~n
+  | Prenex -> phi_prenex model ~n
+
+(* Solver configuration knowing which variables of [lay] are
+   CNF-conversion auxiliaries (improves good learning; see
+   Qbf_solver.Analyze). *)
+let config_for ?(config = Qbf_solver.Solver_types.default_config) lay =
+  {
+    config with
+    Qbf_solver.Solver_types.aux_hint = Some (fun v -> v >= lay.first_aux);
+  }
+
+(* Iterate phi_n for n = 0, 1, ... until it turns false: that n is the
+   diameter (phi_n is true iff n < d).  [None] when the solver budget
+   runs out or [max_n] is exceeded. *)
+let compute ?(config = Qbf_solver.Solver_types.default_config)
+    ?(style = Nonprenex) ?(max_n = 64) model =
+  let rec go n =
+    if n > max_n then None
+    else
+      let lay = build model ~n in
+      let f =
+        match style with
+        | Nonprenex -> lay.formula
+        | Prenex ->
+            Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up
+              lay.formula
+      in
+      let r = Qbf_solver.Engine.solve ~config:(config_for ~config lay) f in
+      match r.Qbf_solver.Solver_types.outcome with
+      | Qbf_solver.Solver_types.False -> Some n
+      | Qbf_solver.Solver_types.True -> go (n + 1)
+      | Qbf_solver.Solver_types.Unknown -> None
+  in
+  go 0

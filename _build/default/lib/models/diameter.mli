@@ -1,0 +1,47 @@
+(** The diameter QBFs of Section VII-C of the paper: phi_n (eq. (14))
+    is true exactly when [n] is smaller than the state-space diameter
+    (eccentricity of the initial-state set); eq. (16) is its ∃↑∀↑
+    prenexing. *)
+
+open Qbf_core
+
+type layout = {
+  formula : Formula.t;
+  x_state : int -> int -> int;
+      (** [x_state j i] is the QBF variable of bit [i] of state copy
+          [x^j] (forward chain, [j] in 0..n+1). *)
+  y_state : int -> int -> int;
+      (** Bit [i] of universal state copy [y^j], [j] in 0..n. *)
+  n : int;
+  first_aux : int;
+      (** CNF-conversion auxiliary variables have ids >= [first_aux]. *)
+}
+
+(** Build phi_n with its variable layout. *)
+val build : Model.t -> n:int -> layout
+
+(** Non-prenex phi_n — eq. (14), prefix (18). *)
+val phi : Model.t -> n:int -> Formula.t
+
+(** Prenex phi_n — eq. (16), prefix (19): the ∃↑∀↑ prenexing of (14). *)
+val phi_prenex : Model.t -> n:int -> Formula.t
+
+type style = Nonprenex | Prenex
+
+val phi_styled : Model.t -> style:style -> n:int -> Formula.t
+
+(** A config whose [aux_hint] marks the CNF-conversion variables of the
+    given layout (sharpens good learning). *)
+val config_for :
+  ?config:Qbf_solver.Solver_types.config ->
+  layout ->
+  Qbf_solver.Solver_types.config
+
+(** Diameter by iterating phi_n until false.  [None] if the solver
+    budget runs out or [max_n] (default 64) is exceeded. *)
+val compute :
+  ?config:Qbf_solver.Solver_types.config ->
+  ?style:style ->
+  ?max_n:int ->
+  Model.t ->
+  int option

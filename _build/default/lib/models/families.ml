@@ -1,0 +1,214 @@
+(* The parametric model families of the paper's DIA suite
+   (Section VII-C): counter<N>, ring<N>, semaphore<N> and dme<N>,
+   rebuilt from the NuSMV distribution's examples.
+
+   counter<N>   — an N-bit binary counter with wrap-around; its
+                  eccentricity from the all-zero initial state is 2^N - 1
+                  (every value k sits at distance k), growing
+                  exponentially in N: the paper's "increasing diameter"
+                  axis.
+   ring<N>      — a ring of N inverters with nondeterministic delays
+                  (each gate either holds its output or takes the
+                  negation of its predecessor's).
+   semaphore<N> — N processes competing for a critical section guarded
+                  by mutual exclusion with static priority; its diameter
+                  is a small constant independent of N: the paper's
+                  "increasing model size at constant diameter" axis.
+   dme<N>       — a token-ring distributed mutual exclusion cell array;
+                  diameter grows linearly with N. *)
+
+let counter ~bits =
+  let cur i = Bexpr.var i in
+  let nxt i = Bexpr.var (bits + i) in
+  let init = Bexpr.and_ (List.init bits (fun i -> Bexpr.not_ (cur i))) in
+  (* next_i <-> cur_i xor (and of all lower bits) *)
+  let trans =
+    Bexpr.and_
+      (List.init bits (fun i ->
+           let carry = Bexpr.and_ (List.init i cur) in
+           Bexpr.iff (nxt i) (Bexpr.xor (cur i) carry)))
+  in
+  Model.make ~name:(Printf.sprintf "counter%d" bits) ~bits ~init ~trans
+
+let ring ~gates =
+  let bits = gates in
+  let cur i = Bexpr.var i in
+  let nxt i = Bexpr.var (bits + i) in
+  let init = Bexpr.and_ (List.init bits (fun i -> Bexpr.not_ (cur i))) in
+  let trans =
+    Bexpr.and_
+      (List.init bits (fun i ->
+           let pred = cur ((i + bits - 1) mod bits) in
+           Bexpr.or_
+             [ Bexpr.iff (nxt i) (cur i); Bexpr.iff (nxt i) (Bexpr.not_ pred) ]))
+  in
+  Model.make ~name:(Printf.sprintf "ring%d" gates) ~bits ~init ~trans
+
+(* semaphore<N>: each process has two bits, t(rying) and c(ritical);
+   idle = 00, trying = 10, critical = 01.  All processes move
+   synchronously: an idle process may start trying at any step; a trying
+   process enters the critical section when no process is critical and
+   no lower-indexed process is trying (static priority, so at most one
+   enters per step); a critical process may leave.  Every reachable
+   state is therefore within a small constant number of steps from the
+   all-idle initial state, independent of N. *)
+let semaphore ~procs =
+  let bits = 2 * procs in
+  let t i = Bexpr.var (2 * i) in
+  let c i = Bexpr.var ((2 * i) + 1) in
+  let t' i = Bexpr.var (bits + (2 * i)) in
+  let c' i = Bexpr.var (bits + (2 * i) + 1) in
+  let init =
+    Bexpr.and_
+      (List.init procs (fun i ->
+           Bexpr.and_ [ Bexpr.not_ (t i); Bexpr.not_ (c i) ]))
+  in
+  let none_critical =
+    Bexpr.and_ (List.init procs (fun j -> Bexpr.not_ (c j)))
+  in
+  let proc_step i =
+    let idle = Bexpr.and_ [ Bexpr.not_ (t i); Bexpr.not_ (c i) ] in
+    let trying = Bexpr.and_ [ t i; Bexpr.not_ (c i) ] in
+    let critical = Bexpr.and_ [ Bexpr.not_ (t i); c i ] in
+    let to_idle = Bexpr.and_ [ Bexpr.not_ (t' i); Bexpr.not_ (c' i) ] in
+    let to_trying = Bexpr.and_ [ t' i; Bexpr.not_ (c' i) ] in
+    let to_critical = Bexpr.and_ [ Bexpr.not_ (t' i); c' i ] in
+    let may_enter =
+      Bexpr.and_
+        (none_critical :: List.init i (fun j -> Bexpr.not_ (t j)))
+    in
+    Bexpr.or_
+      [
+        Bexpr.and_ [ idle; Bexpr.or_ [ to_idle; to_trying ] ];
+        Bexpr.and_
+          [ trying; Bexpr.or_ [ to_trying; Bexpr.and_ [ may_enter; to_critical ] ] ];
+        Bexpr.and_ [ critical; Bexpr.or_ [ to_critical; to_idle ] ];
+      ]
+  in
+  let trans = Bexpr.and_ (List.init procs proc_step) in
+  Model.make ~name:(Printf.sprintf "semaphore%d" procs) ~bits ~init ~trans
+
+(* dme<N>: a token ring of N cells with one-hot token bits tok_i and
+   critical bits c_i.  The holder may enter or leave its critical
+   section; the token advances one cell only while the holder is not
+   critical.  Eccentricity grows linearly with N. *)
+let dme ~cells =
+  let bits = 2 * cells in
+  let tok i = Bexpr.var (2 * i) in
+  let c i = Bexpr.var ((2 * i) + 1) in
+  let tok' i = Bexpr.var (bits + (2 * i)) in
+  let c' i = Bexpr.var (bits + (2 * i) + 1) in
+  let init =
+    Bexpr.and_
+      (List.init cells (fun i ->
+           Bexpr.and_
+             [
+               (if i = 0 then tok i else Bexpr.not_ (tok i));
+               Bexpr.not_ (c i);
+             ]))
+  in
+  let one_hot' i =
+    Bexpr.and_
+      (List.init cells (fun j -> if j = i then tok' j else Bexpr.not_ (tok' j)))
+  in
+  let only_critical' i =
+    Bexpr.and_
+      (List.init cells (fun j -> if j = i then Bexpr.tru else Bexpr.not_ (c' j)))
+  in
+  let cell_move i =
+    let stay =
+      (* token stays at i; the holder may enter or leave its section *)
+      Bexpr.and_ [ one_hot' i; only_critical' i ]
+    in
+    let advance =
+      let k = (i + 1) mod cells in
+      (* only a non-critical holder releases the token; the receiving
+         cell may enter its critical section on arrival *)
+      Bexpr.and_ [ Bexpr.not_ (c i); one_hot' k; only_critical' k ]
+    in
+    Bexpr.and_ [ tok i; Bexpr.or_ [ stay; advance ] ]
+  in
+  let trans = Bexpr.or_ (List.init cells cell_move) in
+  Model.make ~name:(Printf.sprintf "dme%d" cells) ~bits ~init ~trans
+
+(* gray<N>: an N-bit Gray-code counter (exactly one bit flips per step);
+   like counter<N> it has eccentricity 2^N - 1 from the all-zero state,
+   but its transition relation is XOR-free and wider. *)
+let gray ~bits =
+  let cur i = Bexpr.var i in
+  let nxt i = Bexpr.var (bits + i) in
+  let init = Bexpr.and_ (List.init bits (fun i -> Bexpr.not_ (cur i))) in
+  (* successor in the reflected Gray sequence: flip bit 0 when the
+     parity of all bits is even; otherwise flip the bit above the
+     lowest set bit (keep everything else). *)
+  let parity_odd =
+    (* odd number of set bits, as a xor chain *)
+    List.fold_left (fun acc i -> Bexpr.xor acc (cur i)) Bexpr.fls
+      (List.init bits Fun.id)
+  in
+  let flip_only j =
+    Bexpr.and_
+      (List.init bits (fun i ->
+           if i = j then Bexpr.iff (nxt i) (Bexpr.not_ (cur i))
+           else Bexpr.iff (nxt i) (cur i)))
+  in
+  let lowest_set_is j =
+    Bexpr.and_ (cur j :: List.init j (fun i -> Bexpr.not_ (cur i)))
+  in
+  let odd_moves =
+    (* flip the bit above the lowest set bit; from the all-ones-free
+       states this is always defined except at the terminal pattern,
+       which wraps to all-zero via flipping the top bit *)
+    List.init (bits - 1) (fun j ->
+        Bexpr.and_ [ lowest_set_is j; flip_only (j + 1) ])
+  in
+  let trans =
+    Bexpr.or_
+      (Bexpr.and_ [ Bexpr.not_ parity_odd; flip_only 0 ]
+      :: List.map (fun m -> Bexpr.and_ [ parity_odd; m ]) odd_moves
+      @ [
+          (* wrap: only the top bit set *)
+          Bexpr.and_ [ parity_odd; lowest_set_is (bits - 1); flip_only (bits - 1) ];
+        ])
+  in
+  Model.make ~name:(Printf.sprintf "gray%d" bits) ~bits ~init ~trans
+
+(* shift<N>: a shift register with a nondeterministic input bit;
+   eccentricity N from the all-zero state (any pattern loads in N
+   shifts). *)
+let shift ~bits =
+  let cur i = Bexpr.var i in
+  let nxt i = Bexpr.var (bits + i) in
+  let init = Bexpr.and_ (List.init bits (fun i -> Bexpr.not_ (cur i))) in
+  let trans =
+    (* bit 0 is the free input; bit i+1 takes bit i's old value *)
+    Bexpr.and_ (List.init (bits - 1) (fun i -> Bexpr.iff (nxt (i + 1)) (cur i)))
+  in
+  Model.make ~name:(Printf.sprintf "shift%d" bits) ~bits ~init ~trans
+
+let by_name name =
+  let fail () = invalid_arg (Printf.sprintf "unknown model %S" name) in
+  let parse prefix =
+    let pl = String.length prefix in
+    if String.length name > pl && String.sub name 0 pl = prefix then
+      int_of_string_opt (String.sub name pl (String.length name - pl))
+    else None
+  in
+  match parse "counter" with
+  | Some n -> counter ~bits:n
+  | None -> (
+      match parse "ring" with
+      | Some n -> ring ~gates:n
+      | None -> (
+          match parse "semaphore" with
+          | Some n -> semaphore ~procs:n
+          | None -> (
+              match parse "dme" with
+              | Some n -> dme ~cells:n
+              | None -> (
+                  match parse "gray" with
+                  | Some n -> gray ~bits:n
+                  | None -> (
+                      match parse "shift" with
+                      | Some n -> shift ~bits:n
+                      | None -> fail ())))))

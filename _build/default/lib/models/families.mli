@@ -1,0 +1,18 @@
+(** The parametric model families of the paper's DIA suite
+    (Section VII-C), rebuilt from the NuSMV distribution's examples:
+    counter (exponential diameter), ring of inverters, semaphore
+    (constant diameter, growing size), and a token-ring dme. *)
+
+val counter : bits:int -> Model.t
+val ring : gates:int -> Model.t
+val semaphore : procs:int -> Model.t
+val dme : cells:int -> Model.t
+
+(** Gray-code counter: one bit flips per step; eccentricity 2^N - 1. *)
+val gray : bits:int -> Model.t
+
+(** Shift register with a free input bit; eccentricity N. *)
+val shift : bits:int -> Model.t
+
+(** Parse names like ["counter4"], ["semaphore3"], ["gray3"]. *)
+val by_name : string -> Model.t

@@ -1,0 +1,49 @@
+(* Symbolic transition systems: the NuSMV-replacement substrate for the
+   paper's diameter-calculation suite (Section VII-C).
+
+   A model has [bits] Boolean state variables.  [init] is a formula over
+   variables 0..bits-1; [trans] over 0..2*bits-1, where variable [i] is
+   the current-state bit i and [bits + i] the next-state bit i. *)
+
+type t = {
+  name : string;
+  bits : int;
+  init : Bexpr.t;
+  trans : Bexpr.t;
+}
+
+let make ~name ~bits ~init ~trans =
+  if bits <= 0 then invalid_arg "Model.make: bits must be positive";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= bits then
+        invalid_arg "Model.make: init variable out of range")
+    (Bexpr.vars init);
+  List.iter
+    (fun v ->
+      if v < 0 || v >= 2 * bits then
+        invalid_arg "Model.make: trans variable out of range")
+    (Bexpr.vars trans);
+  { name; bits; init; trans }
+
+let name m = m.name
+let bits m = m.bits
+let init m = m.init
+let trans m = m.trans
+
+(* States as bit masks (bit i of the int = state variable i). *)
+let state_bit s i = (s lsr i) land 1 = 1
+
+let is_initial m s = Bexpr.eval (state_bit s) m.init
+
+let is_transition m s s' =
+  let env v = if v < m.bits then state_bit s v else state_bit s' (v - m.bits) in
+  Bexpr.eval env m.trans
+
+(* T'(s,s') = (I(s) /\ I(s')) \/ T(s,s'): the transition relation with a
+   self-loop on initial states, eq. (15) of the paper. *)
+let trans' m =
+  let init_next = Bexpr.map_vars (fun v -> v + m.bits) m.init in
+  Bexpr.or_ [ Bexpr.and_ [ m.init; init_next ]; m.trans ]
+
+let num_states m = 1 lsl m.bits

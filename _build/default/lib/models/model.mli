@@ -1,0 +1,27 @@
+(** Symbolic transition systems (the NuSMV-replacement substrate for the
+    paper's diameter suite, Section VII-C).
+
+    A model has [bits] Boolean state variables; [init] ranges over
+    variables [0..bits-1], [trans] over [0..2*bits-1] with variable
+    [bits+i] the next-state copy of bit [i]. *)
+
+type t
+
+val make : name:string -> bits:int -> init:Bexpr.t -> trans:Bexpr.t -> t
+val name : t -> string
+val bits : t -> int
+val init : t -> Bexpr.t
+val trans : t -> Bexpr.t
+
+(** Bit [i] of the integer-encoded state [s]. *)
+val state_bit : int -> int -> bool
+
+val is_initial : t -> int -> bool
+val is_transition : t -> int -> int -> bool
+
+(** The paper's eq. (15): T'(s,s') = (I(s) ∧ I(s')) ∨ T(s,s') — the
+    transition relation with a self-loop on initial states, so that
+    "path of length n" means "path of length at most n". *)
+val trans' : t -> Bexpr.t
+
+val num_states : t -> int

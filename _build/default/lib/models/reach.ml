@@ -1,0 +1,41 @@
+(* Explicit-state reachability: the ground-truth oracle for the diameter
+   QBFs.  States are integer bit masks; complexity O(4^bits), so this is
+   for small parametric instances (tests and sanity checks), exactly the
+   role NuSMV's own reachability would play. *)
+
+exception Too_large
+
+let max_bits = 13
+
+(* Distance of every state from the initial-state set (-1 when
+   unreachable). *)
+let distances m =
+  if Model.bits m > max_bits then raise Too_large;
+  let n = Model.num_states m in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if Model.is_initial m s then begin
+      dist.(s) <- 0;
+      Queue.add s q
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    for s' = 0 to n - 1 do
+      if dist.(s') < 0 && Model.is_transition m s s' then begin
+        dist.(s') <- dist.(s) + 1;
+        Queue.add s' q
+      end
+    done
+  done;
+  dist
+
+(* The state-space diameter as the paper uses it: the eccentricity of
+   the initial-state set, i.e. the largest distance of any reachable
+   state. *)
+let diameter m =
+  Array.fold_left max 0 (distances m)
+
+let num_reachable m =
+  Array.fold_left (fun n d -> if d >= 0 then n + 1 else n) 0 (distances m)

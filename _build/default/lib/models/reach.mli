@@ -1,0 +1,16 @@
+(** Explicit-state BFS over a model's state space: the ground-truth
+    oracle for the diameter QBFs (what NuSMV's reachability engine would
+    report).  O(4^bits); refuses models beyond {!max_bits} bits. *)
+
+exception Too_large
+
+val max_bits : int
+
+(** Per-state distance from the initial-state set, -1 if unreachable. *)
+val distances : Model.t -> int array
+
+(** The paper's "state space diameter": the eccentricity of the
+    initial-state set over reachable states. *)
+val diameter : Model.t -> int
+
+val num_reachable : Model.t -> int

@@ -1,0 +1,275 @@
+(* A small NuSMV-like model description language.
+
+   The paper's DIA suite extracts I(s) and T(s,s') from models of the
+   NuSMV distribution (footnote 8).  This module provides the same
+   front-end role for our substrate: a textual format for boolean
+   symbolic models,
+
+     MODULE main
+     VAR
+       b0 : boolean;
+       b1 : boolean;
+     INIT
+       !b0 & !b1
+     TRANS
+       (next(b0) <-> !b0) & (next(b1) <-> (b1 xor b0))
+
+   Expressions use !, &, |, xor, ->, <-> (loosest to tightest binding:
+   <->, ->, |, xor, &, !), TRUE/FALSE, identifiers, and next(id) for
+   next-state variables (TRANS only).  Multiple INIT/TRANS sections are
+   conjoined.  MODULE headers are accepted and ignored (only a single
+   flat module is supported). *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Ident of string
+  | Kw of string (* MODULE VAR INIT TRANS boolean next TRUE FALSE *)
+  | Sym of string (* ! & | -> <-> ( ) : ; *)
+
+let keywords =
+  [ "MODULE"; "VAR"; "INIT"; "TRANS"; "boolean"; "next"; "TRUE"; "FALSE"; "xor" ]
+
+let tokenize text =
+  let toks = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && text.[!i + 1] = '-' then begin
+      (* comment to end of line *)
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '<' && !i + 2 < n && text.[!i + 1] = '-' && text.[!i + 2] = '>'
+    then begin
+      push (Sym "<->");
+      i := !i + 3
+    end
+    else if c = '-' && !i + 1 < n && text.[!i + 1] = '>' then begin
+      push (Sym "->");
+      i := !i + 2
+    end
+    else if String.contains "!&|():;" c then begin
+      push (Sym (String.make 1 c));
+      incr i
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let d = text.[!i] in
+        (d >= 'a' && d <= 'z')
+        || (d >= 'A' && d <= 'Z')
+        || (d >= '0' && d <= '9')
+        || d = '_' || d = '.'
+      do
+        incr i
+      done;
+      let w = String.sub text start (!i - start) in
+      if List.mem w keywords then push (Kw w) else push (Ident w)
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* Recursive-descent expression parser over a token stream; [var] maps
+   an identifier (with [next] flag) to a Bexpr variable. *)
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let advance s =
+  match s.toks with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+      s.toks <- rest;
+      t
+
+let expect s tok what =
+  let t = advance s in
+  if t <> tok then fail "expected %s" what
+
+let rec parse_iff s ~var =
+  let lhs = parse_implies s ~var in
+  match peek s with
+  | Some (Sym "<->") ->
+      ignore (advance s);
+      Bexpr.iff lhs (parse_iff s ~var)
+  | _ -> lhs
+
+and parse_implies s ~var =
+  let lhs = parse_or s ~var in
+  match peek s with
+  | Some (Sym "->") ->
+      ignore (advance s);
+      Bexpr.implies lhs (parse_implies s ~var)
+  | _ -> lhs
+
+and parse_or s ~var =
+  let lhs = parse_xor s ~var in
+  match peek s with
+  | Some (Sym "|") ->
+      ignore (advance s);
+      Bexpr.or_ [ lhs; parse_or s ~var ]
+  | _ -> lhs
+
+and parse_xor s ~var =
+  let lhs = parse_and s ~var in
+  match peek s with
+  | Some (Kw "xor") ->
+      ignore (advance s);
+      Bexpr.xor lhs (parse_xor s ~var)
+  | _ -> lhs
+
+and parse_and s ~var =
+  let lhs = parse_unary s ~var in
+  match peek s with
+  | Some (Sym "&") ->
+      ignore (advance s);
+      Bexpr.and_ [ lhs; parse_and s ~var ]
+  | _ -> lhs
+
+and parse_unary s ~var =
+  match advance s with
+  | Sym "!" -> Bexpr.not_ (parse_unary s ~var)
+  | Sym "(" ->
+      let e = parse_iff s ~var in
+      expect s (Sym ")") "')'";
+      e
+  | Kw "TRUE" -> Bexpr.tru
+  | Kw "FALSE" -> Bexpr.fls
+  | Kw "next" ->
+      expect s (Sym "(") "'(' after next";
+      let id =
+        match advance s with
+        | Ident id -> id
+        | _ -> fail "expected identifier inside next()"
+      in
+      expect s (Sym ")") "')' after next(id";
+      Bexpr.var (var ~next:true id)
+  | Ident id -> Bexpr.var (var ~next:false id)
+  | Kw k -> fail "unexpected keyword %S in expression" k
+  | Sym sym -> fail "unexpected symbol %S in expression" sym
+
+let parse_string ?(name = "smv") text =
+  let s = { toks = tokenize text } in
+  (* optional MODULE header *)
+  (match peek s with
+  | Some (Kw "MODULE") ->
+      ignore (advance s);
+      ignore (advance s) (* module name *)
+  | _ -> ());
+  let vars = Hashtbl.create 16 in
+  let order = ref [] in
+  let declare id =
+    if Hashtbl.mem vars id then fail "variable %S declared twice" id;
+    Hashtbl.replace vars id (Hashtbl.length vars);
+    order := id :: !order
+  in
+  let inits = ref [] and transs = ref [] in
+  let rec sections () =
+    match peek s with
+    | None -> ()
+    | Some (Kw "VAR") ->
+        ignore (advance s);
+        let rec decls () =
+          match peek s with
+          | Some (Ident id) ->
+              ignore (advance s);
+              expect s (Sym ":") "':' in declaration";
+              expect s (Kw "boolean") "'boolean'";
+              expect s (Sym ";") "';' after declaration";
+              declare id;
+              decls ()
+          | _ -> ()
+        in
+        decls ();
+        sections ()
+    | Some (Kw "INIT") ->
+        ignore (advance s);
+        let bits = Hashtbl.length vars in
+        ignore bits;
+        let var ~next id =
+          if next then fail "next() is not allowed under INIT";
+          match Hashtbl.find_opt vars id with
+          | Some v -> v
+          | None -> fail "undeclared variable %S" id
+        in
+        inits := parse_iff s ~var :: !inits;
+        sections ()
+    | Some (Kw "TRANS") ->
+        ignore (advance s);
+        let bits = Hashtbl.length vars in
+        let var ~next id =
+          match Hashtbl.find_opt vars id with
+          | Some v -> if next then bits + v else v
+          | None -> fail "undeclared variable %S" id
+        in
+        transs := parse_iff s ~var :: !transs;
+        sections ()
+    | Some (Kw k) -> fail "unexpected section keyword %S" k
+    | Some (Ident id) -> fail "unexpected identifier %S (missing VAR?)" id
+    | Some (Sym sym) -> fail "unexpected symbol %S" sym
+  in
+  sections ();
+  let bits = Hashtbl.length vars in
+  if bits = 0 then fail "no variables declared";
+  Model.make ~name ~bits
+    ~init:(Bexpr.and_ (List.rev !inits))
+    ~trans:(Bexpr.and_ (List.rev !transs))
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = really_input_string ic len in
+      parse_string ~name:(Filename.remove_extension (Filename.basename path))
+        buf)
+
+(* Print a model back as SMV text (variables named b0..b{n-1}). *)
+let print fmt m =
+  let bits = Model.bits m in
+  let rec pp_expr fmt (e : Bexpr.t) =
+    match e with
+    | Bexpr.True -> Format.pp_print_string fmt "TRUE"
+    | Bexpr.False -> Format.pp_print_string fmt "FALSE"
+    | Bexpr.Var v ->
+        if v < bits then Format.fprintf fmt "b%d" v
+        else Format.fprintf fmt "next(b%d)" (v - bits)
+    | Bexpr.Not a -> Format.fprintf fmt "!%a" pp_atom a
+    | Bexpr.And xs -> pp_nary fmt "&" xs
+    | Bexpr.Or xs -> pp_nary fmt "|" xs
+    | Bexpr.Iff (a, b) -> Format.fprintf fmt "(%a <-> %a)" pp_atom a pp_atom b
+  and pp_nary fmt op = function
+    | [] -> Format.pp_print_string fmt (if op = "&" then "TRUE" else "FALSE")
+    | [ x ] -> pp_expr fmt x
+    | xs ->
+        Format.fprintf fmt "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.fprintf fmt " %s " op)
+             pp_atom)
+          xs
+  and pp_atom fmt e =
+    match e with
+    | Bexpr.True | Bexpr.False | Bexpr.Var _ | Bexpr.Not _ -> pp_expr fmt e
+    | _ -> Format.fprintf fmt "%a" pp_expr e
+  in
+  Format.fprintf fmt "MODULE main@\nVAR@\n";
+  for v = 0 to bits - 1 do
+    Format.fprintf fmt "  b%d : boolean;@\n" v
+  done;
+  Format.fprintf fmt "INIT@\n  %a@\nTRANS@\n  %a@\n" pp_expr (Model.init m)
+    pp_expr (Model.trans m)
+
+let to_string m = Format.asprintf "%a" print m

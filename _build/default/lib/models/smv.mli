@@ -1,0 +1,29 @@
+(** A small NuSMV-like textual format for boolean symbolic models — the
+    front-end role that the NuSMV distribution played for the paper's
+    DIA suite.
+
+    {v
+    MODULE main
+    VAR
+      b0 : boolean;
+    INIT
+      !b0
+    TRANS
+      next(b0) <-> !b0
+    v}
+
+    Operators, loosest binding first: [<->], [->], [|], [xor], [&], [!];
+    constants [TRUE]/[FALSE]; [next(id)] refers to the next-state copy
+    (TRANS sections only).  Multiple INIT/TRANS sections are conjoined.
+    [--] starts a line comment. *)
+
+exception Parse_error of string
+
+val parse_string : ?name:string -> string -> Model.t
+val parse_file : string -> Model.t
+
+(** Print a model as SMV text with variables renamed b0..b(n-1);
+    [parse_string (to_string m)] reconstructs an equivalent model. *)
+val print : Format.formatter -> Model.t -> unit
+
+val to_string : Model.t -> string

@@ -1,0 +1,130 @@
+(* Polarity-aware (Plaisted–Greenbaum) CNF conversion in the style the
+   paper cites for its diameter QBFs ([10], Jackson–Sheridan).
+
+   [compile] returns a literal [g] standing for a subformula, emitting
+   only the definition clauses needed for the polarity in which [g] is
+   used: [`Pos] gives g -> expr, [`Neg] gives expr -> g, [`Both] gives
+   the equivalence.  [assert_true] asserts a formula, recursing through
+   conjunctions and emitting one clause per disjunction so that shallow
+   structure costs no auxiliary variables. *)
+
+open Qbf_core
+
+type polarity = [ `Pos | `Neg | `Both ]
+
+type ctx = {
+  fresh : unit -> int; (* allocate an auxiliary variable *)
+  emit : Lit.t list -> unit; (* add a clause *)
+  env : int -> Lit.t; (* model variable -> literal *)
+  memo : (Bexpr.t, Lit.t * polarity) Hashtbl.t;
+}
+
+let create ~fresh ~emit ~env =
+  { fresh; emit; env; memo = Hashtbl.create 64 }
+
+let merge_pol (a : polarity) (b : polarity) : polarity =
+  match (a, b) with
+  | `Both, _ | _, `Both -> `Both
+  | `Pos, `Neg | `Neg, `Pos -> `Both
+  | `Pos, `Pos -> `Pos
+  | `Neg, `Neg -> `Neg
+
+let needs (have : polarity) (want : polarity) =
+  match (have, want) with
+  | `Both, _ -> false
+  | `Pos, (`Pos : polarity) -> false
+  | `Neg, `Neg -> false
+  | _ -> true
+
+let flip (p : polarity) : polarity =
+  match p with `Pos -> `Neg | `Neg -> `Pos | `Both -> `Both
+
+(* Emit the definition clauses of gate [g] for [pol] given child
+   literals. *)
+let define_and ctx g children (pol : polarity) =
+  (match pol with
+  | `Pos | `Both ->
+      (* g -> child, for each child *)
+      List.iter (fun c -> ctx.emit [ Lit.negate g; c ]) children
+  | `Neg -> ());
+  match pol with
+  | `Neg | `Both ->
+      (* children -> g *)
+      ctx.emit (g :: List.map Lit.negate children)
+  | `Pos -> ()
+
+let define_or ctx g children (pol : polarity) =
+  (match pol with
+  | `Pos | `Both -> ctx.emit (Lit.negate g :: children)
+  | `Neg -> ());
+  match pol with
+  | `Neg | `Both -> List.iter (fun c -> ctx.emit [ g; Lit.negate c ]) children
+  | `Pos -> ()
+
+let define_iff ctx g a b (pol : polarity) =
+  (match pol with
+  | `Pos | `Both ->
+      (* g -> (a <-> b) *)
+      ctx.emit [ Lit.negate g; Lit.negate a; b ];
+      ctx.emit [ Lit.negate g; a; Lit.negate b ]
+  | `Neg -> ());
+  match pol with
+  | `Neg | `Both ->
+      (* (a <-> b) -> g *)
+      ctx.emit [ g; Lit.negate a; Lit.negate b ];
+      ctx.emit [ g; a; b ]
+  | `Pos -> ()
+
+let rec compile ctx (pol : polarity) (e : Bexpr.t) : Lit.t =
+  match e with
+  | Bexpr.True | Bexpr.False ->
+      (* Smart constructors fold constants away; reaching one here means
+         the caller bypassed them. *)
+      invalid_arg "Tseitin.compile: unexpected constant"
+  | Bexpr.Var v -> ctx.env v
+  | Bexpr.Not a -> Lit.negate (compile ctx (flip pol) a)
+  | Bexpr.And _ | Bexpr.Or _ | Bexpr.Iff _ -> gate ctx pol e
+
+and gate ctx pol e =
+  let cached = Hashtbl.find_opt ctx.memo e in
+  match cached with
+  | Some (g, have) when not (needs have pol) -> g
+  | _ ->
+      let g, have =
+        match cached with
+        | Some (g, have) -> (g, Some have)
+        | None -> (Lit.of_var (ctx.fresh ()), None)
+      in
+      (* Emit only the missing direction(s). *)
+      let missing : polarity =
+        match (have, pol) with
+        | None, p -> p
+        | Some `Pos, (`Neg | `Both) -> `Neg
+        | Some `Neg, (`Pos | `Both) -> `Pos
+        | Some _, _ -> pol
+      in
+      (match e with
+      | Bexpr.And xs ->
+          define_and ctx g (List.map (compile ctx missing) xs) missing
+      | Bexpr.Or xs ->
+          define_or ctx g (List.map (compile ctx missing) xs) missing
+      | Bexpr.Iff (a, b) ->
+          define_iff ctx g (compile ctx `Both a) (compile ctx `Both b) missing
+      | _ -> assert false);
+      let newpol =
+        match have with None -> pol | Some h -> merge_pol h missing
+      in
+      Hashtbl.replace ctx.memo e (g, newpol);
+      g
+
+(* Assert [e]; conjunctions recurse and disjunctions become one clause
+   over positively-compiled children, so flat formulas produce flat
+   CNF. *)
+let rec assert_true ctx (e : Bexpr.t) =
+  match e with
+  | Bexpr.True -> ()
+  | Bexpr.False -> ctx.emit []
+  | Bexpr.And xs -> List.iter (assert_true ctx) xs
+  | Bexpr.Or xs -> ctx.emit (List.map (compile ctx `Pos) xs)
+  | Bexpr.Var _ | Bexpr.Not _ | Bexpr.Iff _ ->
+      ctx.emit [ compile ctx `Pos e ]

@@ -1,0 +1,25 @@
+(** Polarity-aware (Plaisted–Greenbaum) CNF conversion, in the style the
+    paper cites for its diameter QBFs ([10]). *)
+
+open Qbf_core
+
+type polarity = [ `Pos | `Neg | `Both ]
+type ctx
+
+(** [create ~fresh ~emit ~env]: [fresh] allocates auxiliary variables,
+    [emit] receives clauses, [env] maps model variables to literals. *)
+val create :
+  fresh:(unit -> int) ->
+  emit:(Lit.t list -> unit) ->
+  env:(int -> Lit.t) ->
+  ctx
+
+(** [compile ctx pol e] returns a literal [g] for [e], emitting the
+    definition clauses of the requested polarity: [`Pos] gives
+    [g -> e], [`Neg] gives [e -> g].  Gates are memoised per
+    subformula, upgrading polarity on demand. *)
+val compile : ctx -> polarity -> Bexpr.t -> Lit.t
+
+(** Assert a formula: conjunctions recurse, disjunctions emit one clause
+    over positively-compiled children. *)
+val assert_true : ctx -> Bexpr.t -> unit

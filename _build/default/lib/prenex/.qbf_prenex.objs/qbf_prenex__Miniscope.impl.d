@@ -1,0 +1,1 @@
+lib/prenex/miniscope.ml: Array Clause Formula Fun Hashtbl List Lit Option Prefix Qbf_core

@@ -1,0 +1,1 @@
+lib/prenex/miniscope.mli: Formula Qbf_core

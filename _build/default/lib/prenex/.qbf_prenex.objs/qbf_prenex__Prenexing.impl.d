@@ -1,0 +1,1 @@
+lib/prenex/prenexing.ml: Array Formula Int List Prefix Qbf_core Quant

@@ -1,0 +1,1 @@
+lib/prenex/prenexing.mli: Formula Prefix Qbf_core

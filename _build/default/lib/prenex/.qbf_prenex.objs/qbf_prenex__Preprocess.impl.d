@@ -1,0 +1,1 @@
+lib/prenex/preprocess.ml: Array Clause Formula Int List Lit Prefix Qbf_core

@@ -1,0 +1,1 @@
+lib/prenex/preprocess.mli: Formula Qbf_core

@@ -1,0 +1,171 @@
+(* Scope minimisation for prenex QBFs (Section VII-D of the paper).
+
+   Only the two paper rules are applied, working over the clause–variable
+   incidence structure:
+
+     Qz (phi /\ psi)  ->  (Qz phi) /\ psi     when z does not occur in psi
+     Q1 z1 Q2 z2 phi  ->  Q2 z2 Q1 z1 phi     when Q1 = Q2
+
+   (the universal-duplication rule (20) is deliberately NOT applied, as
+   in the paper).  Operationally: process blocks outermost-first; at each
+   level, split the remaining clauses into connected components w.r.t.
+   variables of the current and deeper blocks, bind the current block's
+   variables component-wise, and recurse.  Variables occurring in no
+   clause are dropped from the prefix.
+
+   Afterwards, the paper's single-clause-scope simplifications run: an
+   existential variable whose node is a leaf and which occurs in exactly
+   one clause makes that clause true (the clause is removed); a universal
+   variable in the same situation is removed from its clause (a special
+   case of Lemma 3, performed here by a final universal reduction). *)
+
+open Qbf_core
+
+(* Union-find over clause indices. *)
+let uf_find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let uf_union parent a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+(* Build the quantifier forest for [clauses] given the remaining
+   [blocks] (outermost first).  Variables are connected through clauses
+   containing them; each connected component receives its own copy of
+   the block chain restricted to its variables. *)
+let rec build_forest blocks clauses =
+  match blocks with
+  | [] -> []
+  | (q, vars) :: rest ->
+      let relevant = Hashtbl.create 64 in
+      List.iter (fun v -> Hashtbl.replace relevant v ()) vars;
+      List.iter
+        (fun (_, vs) -> List.iter (fun v -> Hashtbl.replace relevant v ()) vs)
+        rest;
+      let clauses_arr = Array.of_list clauses in
+      let n = Array.length clauses_arr in
+      let parent = Array.init n Fun.id in
+      (* Connect clauses sharing a relevant (still-unbound) variable. *)
+      let owner = Hashtbl.create 64 in
+      Array.iteri
+        (fun i c ->
+          List.iter
+            (fun v ->
+              if Hashtbl.mem relevant v then
+                match Hashtbl.find_opt owner v with
+                | None -> Hashtbl.replace owner v i
+                | Some j -> uf_union parent i j)
+            (Clause.vars c))
+        clauses_arr;
+      let comps = Hashtbl.create 16 in
+      Array.iteri
+        (fun i c ->
+          let has_relevant =
+            List.exists (Hashtbl.mem relevant) (Clause.vars c)
+          in
+          if has_relevant then begin
+            let r = uf_find parent i in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt comps r) in
+            Hashtbl.replace comps r (c :: cur)
+          end)
+        clauses_arr;
+      let forests =
+        Hashtbl.fold
+          (fun _ comp acc ->
+            let comp_vars = Hashtbl.create 64 in
+            List.iter
+              (fun c ->
+                List.iter
+                  (fun v -> Hashtbl.replace comp_vars v ())
+                  (Clause.vars c))
+              comp;
+            let bvars = List.filter (Hashtbl.mem comp_vars) vars in
+            let sub_blocks =
+              List.filter_map
+                (fun (q', vs) ->
+                  match List.filter (Hashtbl.mem comp_vars) vs with
+                  | [] -> None
+                  | vs' -> Some (q', vs'))
+                rest
+            in
+            let subtrees = build_forest sub_blocks comp in
+            let trees =
+              if bvars = [] then subtrees
+              else [ Prefix.node q bvars subtrees ]
+            in
+            trees @ acc)
+          comps []
+      in
+      forests
+
+(* Drop from the matrix every clause made true by an innermost
+   existential occurring only there (the paper's rule 1). *)
+let drop_single_scope_clauses prefix matrix =
+  let nvars = Prefix.nvars prefix in
+  let occ = Array.make (max nvars 1) 0 in
+  List.iter
+    (fun c -> List.iter (fun v -> occ.(v) <- occ.(v) + 1) (Clause.vars c))
+    matrix;
+  let is_leaf_block v =
+    Array.length (Prefix.block_children prefix (Prefix.block_of prefix v)) = 0
+  in
+  List.filter
+    (fun c ->
+      not
+        (Clause.exists
+           (fun l ->
+             let v = Lit.var l in
+             Prefix.is_exists prefix v && occ.(v) = 1 && is_leaf_block v)
+           c))
+    matrix
+
+let minimize formula =
+  let prefix = Formula.prefix formula in
+  if not (Prefix.is_prenex prefix) then
+    invalid_arg "Miniscope.minimize: input must be prenex";
+  let nvars = Prefix.nvars prefix in
+  (* Universal reduction first: it can only shrink scopes further and
+     subsumes the paper's universal single-clause rule. *)
+  let matrix =
+    List.map (Formula.universal_reduce_clause prefix) (Formula.matrix formula)
+  in
+  let blocks = Prefix.blocks_outermost_first prefix in
+  let forest = build_forest blocks matrix in
+  let prefix' = Prefix.of_forest ~nvars forest in
+  let matrix = drop_single_scope_clauses prefix' matrix in
+  (* Dropping clauses can free more structure; rebuild once. *)
+  let forest = build_forest blocks matrix in
+  let prefix'' = Prefix.of_forest ~nvars forest in
+  Formula.make prefix'' matrix
+
+(* Footnote 9 of the paper: the PO/TO ratio is the percentage of
+   (existential, universal) variable pairs that are ordered in the
+   prenex original but unordered in the miniscoped result, over the
+   pairs ordered in the original. *)
+let po_to_ratio ~original ~miniscoped =
+  let p = Formula.prefix original and p' = Formula.prefix miniscoped in
+  let n = Prefix.nvars p in
+  let total = ref 0 and freed = ref 0 in
+  for x = 0 to n - 1 do
+    if Prefix.is_exists p x then
+      for y = 0 to n - 1 do
+        if Prefix.is_forall p y then
+          if Prefix.precedes p x y || Prefix.precedes p y x then begin
+            incr total;
+            if
+              (not (Prefix.precedes p' x y)) && not (Prefix.precedes p' y x)
+            then incr freed
+          end
+      done
+  done;
+  if !total = 0 then 0. else 100. *. float_of_int !freed /. float_of_int !total

@@ -1,0 +1,18 @@
+(** Scope minimisation for prenex QBFs — Section VII-D of the paper.
+
+    Applies only the two paper rules (pushing quantifiers into the
+    conjunction and swapping same-quantifier blocks; no universal
+    duplication), plus the single-clause-scope simplifications, yielding
+    a non-prenex QBF with the same value. *)
+
+open Qbf_core
+
+(** [minimize f] miniscopes a prenex [f].  Raises [Invalid_argument] on
+    non-prenex input. *)
+val minimize : Formula.t -> Formula.t
+
+(** Footnote 9 of the paper: percentage of (existential, universal)
+    pairs ordered in the prenex original that become unordered after
+    miniscoping.  Instances enter the Figure-7 test set when this
+    exceeds 20%. *)
+val po_to_ratio : original:Formula.t -> miniscoped:Formula.t -> float

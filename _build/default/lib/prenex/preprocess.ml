@@ -1,0 +1,114 @@
+(* Preprocessing: the cheap value-preserving simplifications real
+   search solvers run before the search (Section III mentions QuBE's
+   own preprocessing; these are the standard rules, stated for
+   arbitrary partial-order prefixes).
+
+   - universal reduction of every clause (Lemma 3);
+   - unit closure: a clause that is unit per Lemma 5 under the empty
+     assignment forces its existential literal globally — substitute
+     and iterate;
+   - pure existential literals (monotone polarity) are set true, pure
+     universal literals removed from all clauses (set false);
+   - subsumption: drop any clause containing another clause.
+
+   The result is equivalent to the input; [simplify] also reports
+   outright [True]/[False] when the matrix empties or a contradictory
+   clause appears. *)
+
+open Qbf_core
+
+type outcome =
+  | Formula of Formula.t
+  | True
+  | False
+
+let subsumes small big =
+  Clause.size small <= Clause.size big
+  && Clause.for_all (fun l -> Clause.mem l big) small
+
+let remove_subsumed clauses =
+  let sorted =
+    List.sort (fun a b -> Int.compare (Clause.size a) (Clause.size b)) clauses
+  in
+  let kept = ref [] in
+  List.iter
+    (fun c ->
+      if not (List.exists (fun k -> subsumes k c) !kept) then kept := c :: !kept)
+    sorted;
+  List.rev !kept
+
+(* One pass of the rules over the clause set; [assigned] collects the
+   forced literals (l true).  Returns the new clause list or a final
+   verdict. *)
+let rec fixpoint prefix clauses =
+  (* universal reduction first *)
+  let clauses = List.map (Formula.universal_reduce_clause prefix) clauses in
+  if List.exists Clause.is_empty clauses then `False
+  else begin
+    let clauses = List.filter (fun c -> not (Clause.is_tautology c)) clauses in
+    (* units per Lemma 5 under the empty assignment: every non-pivot
+       literal universal and not preceding the pivot.  After universal
+       reduction such a clause is exactly a singleton existential. *)
+    let unit_lit =
+      List.find_map
+        (fun c ->
+          match Clause.to_list c with
+          | [ l ] when Prefix.is_exists prefix (Lit.var l) -> Some l
+          | _ -> None)
+        clauses
+    in
+    (* pure literals: polarity occurrence scan *)
+    let pure_lit =
+      match unit_lit with
+      | Some _ -> None
+      | None ->
+          let n = Prefix.nvars prefix in
+          let pos = Array.make n false and neg = Array.make n false in
+          List.iter
+            (fun c ->
+              Clause.iter
+                (fun l ->
+                  if Lit.is_pos l then pos.(Lit.var l) <- true
+                  else neg.(Lit.var l) <- true)
+                c)
+            clauses;
+          let rec find v =
+            if v >= n then None
+            else if pos.(v) && not neg.(v) then
+              Some (Lit.make v (Prefix.is_exists prefix v))
+            else if neg.(v) && not pos.(v) then
+              Some (Lit.make v (not (Prefix.is_exists prefix v)))
+            else find (v + 1)
+          in
+          find 0
+    in
+    match (unit_lit, pure_lit) with
+    | Some l, _ | None, Some l ->
+        (* substitute l := true *)
+        let clauses =
+          List.filter_map
+            (fun c ->
+              if Clause.mem l c then None
+              else Some (Clause.remove (Lit.negate l) c))
+            clauses
+        in
+        if clauses = [] then `True else fixpoint prefix clauses
+    | None, None ->
+        let clauses = remove_subsumed clauses in
+        if clauses = [] then `True else `Clauses clauses
+  end
+
+let simplify formula =
+  let prefix = Formula.prefix formula in
+  match fixpoint prefix (Formula.matrix formula) with
+  | `True -> True
+  | `False -> False
+  | `Clauses clauses -> Formula (Formula.make prefix clauses)
+
+(* Convenience wrapper keeping a formula shape ([True]/[False] become
+   the empty matrix / the empty clause). *)
+let simplify_formula formula =
+  match simplify formula with
+  | Formula f -> f
+  | True -> Formula.make (Formula.prefix formula) []
+  | False -> Formula.make (Formula.prefix formula) [ Clause.of_list [] ]

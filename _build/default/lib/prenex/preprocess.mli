@@ -1,0 +1,16 @@
+(** Value-preserving preprocessing for (non-prenex) QBFs: universal
+    reduction (Lemma 3), global unit closure (Lemma 5 under the empty
+    assignment), pure-literal elimination and clause subsumption. *)
+
+open Qbf_core
+
+type outcome =
+  | Formula of Formula.t (** simplified, same value *)
+  | True (** decided: the formula is true *)
+  | False (** decided: the formula is false *)
+
+val simplify : Formula.t -> outcome
+
+(** Like {!simplify}, but decided outcomes become the empty matrix /
+    an empty-clause matrix, keeping the formula shape. *)
+val simplify_formula : Formula.t -> Formula.t

@@ -1,0 +1,1 @@
+lib/solver/analyze.ml: Array Hashtbl Int List Printf Propagate Solver_types State Sys Vec

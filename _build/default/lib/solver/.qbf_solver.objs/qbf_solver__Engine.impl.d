@@ -1,0 +1,1 @@
+lib/solver/engine.ml: Analyze Array Hashtbl Heuristic Propagate Solver_types State Vec

@@ -1,0 +1,1 @@
+lib/solver/engine.mli: Qbf_core Solver_types State

@@ -1,0 +1,1 @@
+lib/solver/heuristic.ml: Array Float Prefix Qbf_core Solver_types State

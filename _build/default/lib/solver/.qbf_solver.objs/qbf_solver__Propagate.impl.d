@@ -1,0 +1,1 @@
+lib/solver/propagate.ml: Array Solver_types State Vec

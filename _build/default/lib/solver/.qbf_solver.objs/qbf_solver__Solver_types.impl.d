@@ -1,0 +1,1 @@
+lib/solver/solver_types.ml: Format

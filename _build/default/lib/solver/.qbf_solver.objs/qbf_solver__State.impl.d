@@ -1,0 +1,1 @@
+lib/solver/state.ml: Array Clause Formula List Lit Prefix Qbf_core Quant Solver_types Vec

@@ -1,0 +1,1 @@
+lib/solver/vec.ml: Array List

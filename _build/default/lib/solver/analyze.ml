@@ -1,0 +1,359 @@
+(* Conflict and solution analysis.
+
+   Conflicts (falsified clauses) are analysed by Q-resolution: starting
+   from the conflicting clause, repeatedly apply universal reduction and
+   resolve on the trail-deepest existential literal with its unit-clause
+   reason until the working clause is asserting; then backjump and learn.
+   Solutions (satisfied matrix or true cube) are analysed dually by term
+   resolution on universal literals with their unit-cube reasons,
+   learning a good/cube.
+
+   Whenever analysis would need a step outside plain Q/term resolution —
+   a tautological resolvent, a pivot assigned by a decision or a pure
+   literal, a literal whose truth value violates the working-set
+   invariant — it falls back to the sound chronological flip of plain
+   Q-DLL (deepest unflipped existential decision for conflicts, deepest
+   unflipped universal decision for solutions).  Learning is therefore an
+   accelerator and never a soundness risk. *)
+
+open Solver_types
+module S = State
+
+type conclusion =
+  | Concluded of outcome
+  | Continue
+
+(* ---------- chronological fallback (plain Q-DLL backtracking) --------- *)
+
+(* Flip the deepest unflipped decision owned by the losing player:
+   existential decisions for a FALSE leaf, universal for a TRUE leaf. *)
+let chrono s ~exist_side =
+  let rec find lvl =
+    if lvl < 1 then None
+    else
+      let dec_lit = Vec.get s.S.trail (Vec.get s.S.trail_lim (lvl - 1)) in
+      let flipped = Vec.get s.S.dec_flipped (lvl - 1) in
+      if (not flipped) && s.S.is_exist.(S.var dec_lit) = exist_side then
+        Some (lvl, dec_lit)
+      else find (lvl - 1)
+  in
+  match find (S.current_level s) with
+  | None -> Concluded (if exist_side then False else True)
+  | Some (lvl, dec_lit) ->
+      S.backtrack s (lvl - 1);
+      S.new_decision s (S.neg dec_lit) ~flipped:true;
+      Continue
+
+(* ---------- working set ------------------------------------------------ *)
+
+exception Fallback
+
+type work = {
+  tbl : (int, int) Hashtbl.t; (* var -> literal *)
+  mutable members : int list; (* current literals *)
+}
+
+let work_create () = { tbl = Hashtbl.create 64; members = [] }
+
+(* [bad] rejects literals that would break the working-set invariant:
+   a true literal in a clause analysis, a false one in a cube analysis. *)
+let work_add s w ~bad l =
+  let v = S.var l in
+  match Hashtbl.find_opt w.tbl v with
+  | Some l' when l' = l -> ()
+  | Some _ -> raise Fallback (* tautological resolvent *)
+  | None ->
+      if bad (S.lit_value s l) then raise Fallback;
+      Hashtbl.replace w.tbl v l;
+      w.members <- l :: w.members
+
+let work_remove w l =
+  Hashtbl.remove w.tbl (S.var l);
+  w.members <- List.filter (fun m -> m <> l) w.members
+
+(* Universal reduction of the working clause (Lemma 3): drop universal
+   literals preceding no existential literal of the set.  Iterates to a
+   fixpoint implicitly — removing a universal literal never unblocks
+   another universal literal, so one pass suffices. *)
+let reduce_clause_work s w =
+  let keep l =
+    s.S.is_exist.(S.var l)
+    || List.exists
+         (fun e ->
+           s.S.is_exist.(S.var e) && S.precedes s (S.var l) (S.var e))
+         w.members
+  in
+  let removed = List.filter (fun l -> not (keep l)) w.members in
+  List.iter (work_remove w) removed
+
+(* Dual existential reduction of the working cube. *)
+let reduce_cube_work s w =
+  let keep l =
+    (not s.S.is_exist.(S.var l))
+    || List.exists
+         (fun u ->
+           (not s.S.is_exist.(S.var u)) && S.precedes s (S.var l) (S.var u))
+         w.members
+  in
+  let removed = List.filter (fun l -> not (keep l)) w.members in
+  List.iter (work_remove w) removed
+
+let deepest s lits =
+  List.fold_left
+    (fun best l ->
+      match best with
+      | None -> Some l
+      | Some b ->
+          if s.S.pos.(S.var l) > s.S.pos.(S.var b) then Some l else Some b)
+    None lits
+
+let max_level_of_others s w pivot =
+  List.fold_left
+    (fun acc l ->
+      if l = pivot then acc
+      else if S.is_assigned s (S.var l) then max acc s.S.vlevel.(S.var l)
+      else acc)
+    0 w.members
+
+let sorted_lits w = List.sort_uniq Int.compare w.members
+
+(* ---------- conflict analysis ------------------------------------------ *)
+
+let analyze_conflict s cid0 =
+  let w = work_create () in
+  let bad v = v = 1 in
+  let c0 = S.constr s cid0 in
+  Array.iter (work_add s w ~bad) c0.lits;
+  let bound = 5000 + (4 * s.S.nvars) in
+  let rec loop n =
+    if n > bound then raise Fallback;
+    reduce_clause_work s w;
+    let exist_lits = List.filter (fun l -> s.S.is_exist.(S.var l)) w.members in
+    match deepest s exist_lits with
+    | None -> `False (* purely universal working clause: formula is false *)
+    | Some e ->
+        let lvl = s.S.vlevel.(S.var e) in
+        if lvl = 0 then `False
+        else
+          let ok_levels =
+            List.for_all
+              (fun l ->
+                l = e
+                || (not (S.is_assigned s (S.var l)))
+                || s.S.vlevel.(S.var l) < lvl)
+              w.members
+          and ok_scope =
+            List.for_all
+              (fun l ->
+                S.is_assigned s (S.var l)
+                || not (S.precedes s (S.var l) (S.var e)))
+              w.members
+          in
+          if ok_levels && ok_scope then begin
+            let beta = max_level_of_others s w e in
+            let lits = Array.of_list (sorted_lits w) in
+            S.backtrack s beta;
+            let _cid = S.add_constraint s Clause_c ~learned:true lits in
+            s.S.stats.learned_clauses <- s.S.stats.learned_clauses + 1;
+            s.S.stats.backjumps <- s.S.stats.backjumps + 1;
+            `Learned
+          end
+          else
+            match s.S.reason.(S.var e) with
+            | Reason rid when (S.constr s rid).kind = Clause_c ->
+                let r = S.constr s rid in
+                work_remove w e;
+                Array.iter
+                  (fun m -> if S.var m <> S.var e then work_add s w ~bad m)
+                  r.lits;
+                loop (n + 1)
+            | Reason _ | Decision | Flipped | Pure -> raise Fallback
+  in
+  loop 0
+
+(* ---------- solution analysis ------------------------------------------ *)
+
+(* Initial good (Section III): a set S of literals propositionally
+   entailing the original matrix, taken as the starting cube of solution
+   analysis after existential reduction.
+
+   S need not lie inside the current assignment: any consistent
+   entailing set is a sound good.  We exploit this for auxiliary-style
+   variables — existentials with no universal anywhere in their ≺-scope
+   ([drop_ok]), e.g. the CNF-conversion gates of the diameter instances.
+   Their literals are removed by existential reduction no matter what,
+   so covering a clause with such a literal (even *virtually*, using the
+   opposite of the variable's current pure-assigned value, as long as the
+   choice stays consistent across S) contributes nothing to the learned
+   cube.  This keeps goods down to the literals that actually matter
+   (the paper's Section VII-C goods contain only the universal literals
+   assigned and the x^{n+1} bits).  If the virtual choices ever fail to
+   cover a clause, we restart with the plain current-assignment cover.
+
+   Priorities per clause: a literal already in S; a true reducible
+   existential; a virtual reducible pure-assigned existential; a true
+   existential; the earliest-assigned true universal. *)
+exception Cover_stuck
+
+let debug_cover = Sys.getenv_opt "QBF_DEBUG_COVER" <> None
+
+let cover_with s w ~virtual_flips =
+  let bad v = v = 0 in
+  let chosen = Hashtbl.create 64 in
+  (* var -> literal of S *)
+  let choose m =
+    Hashtbl.replace chosen (S.var m) m;
+    if not s.S.drop_ok.(S.var m) then work_add s w ~bad m
+  in
+  (* Candidate ranks, smaller is better; only free variables compete:
+     1 — negative reducible literal (self-covering for one-directional
+         CNF-conversion gates, whose definitions all contain the
+         negated gate; virtually flipped if the variable is a declared
+         auxiliary);
+     2 — positive reducible literal, true or unassigned;
+     3 — true non-reducible existential;
+     4 — virtually flipped positive auxiliary;
+     5 — true universal (earliest assigned first). *)
+  let rank m =
+    let v = S.var m in
+    let value = S.lit_value s m in
+    if s.S.drop_ok.(v) then
+      if m land 1 = 1 (* negative literal *) then
+        if value <> 0 then Some 1
+        else if virtual_flips && s.S.is_aux.(v) then Some 1
+        else None
+      else if value <> 0 then Some 2
+      else if virtual_flips && s.S.is_aux.(v) then Some 4
+      else None
+    else if value = 1 then Some (if s.S.is_exist.(v) then 3 else 5)
+    else None
+  in
+  (* Clauses are processed newest-first: CNF conversion emits gate
+     definitions before the clauses that use the gates, so reverse order
+     sees each disjunction before its gates' definitions and picks the
+     structurally cheap cover. *)
+  for cid = Vec.length s.S.constrs - 1 downto 0 do
+    let c = S.constr s cid in
+    if (not c.learned) && c.kind = Clause_c && c.active then begin
+      let already =
+        Array.exists
+          (fun m -> Hashtbl.find_opt chosen (S.var m) = Some m)
+          c.lits
+      in
+      if not already then begin
+        let free v = not (Hashtbl.mem chosen v) in
+        let best = ref (-1) and best_rank = ref max_int in
+        Array.iter
+          (fun m ->
+            if free (S.var m) then
+              match rank m with
+              | Some r ->
+                  if
+                    r < !best_rank
+                    || (r = !best_rank && r = 5
+                       && s.S.pos.(S.var m) < s.S.pos.(S.var !best))
+                  then begin
+                    best := m;
+                    best_rank := r
+                  end
+              | None -> ())
+          c.lits;
+        if !best < 0 then raise Cover_stuck;
+        (if debug_cover then begin
+           Printf.eprintf "cover: rank%d pick %d for clause:" !best_rank !best;
+           Array.iter
+             (fun m ->
+               Printf.eprintf " %d(%s%s)" m
+                 (match S.lit_value s m with 1 -> "T" | 0 -> "F" | _ -> "?")
+                 (if s.S.drop_ok.(S.var m) then "d" else ""))
+             c.lits;
+           prerr_newline ()
+         end);
+        choose !best
+      end
+    end
+  done
+
+let cover_cube s w =
+  try cover_with s w ~virtual_flips:true with
+  | Cover_stuck ->
+      Hashtbl.reset w.tbl;
+      w.members <- [];
+      cover_with s w ~virtual_flips:false
+
+let analyze_solution s source =
+  let w = work_create () in
+  let bad v = v = 0 in
+  (match source with
+  | Propagate.Cover -> cover_cube s w
+  | Propagate.Cube cid -> Array.iter (work_add s w ~bad) (S.constr s cid).lits);
+  let bound = 5000 + (4 * s.S.nvars) in
+  let rec loop n =
+    if n > bound then raise Fallback;
+    reduce_cube_work s w;
+    let univ_lits =
+      List.filter (fun l -> not s.S.is_exist.(S.var l)) w.members
+    in
+    match deepest s univ_lits with
+    | None -> `True (* purely existential working cube: formula is true *)
+    | Some u ->
+        let lvl = s.S.vlevel.(S.var u) in
+        if lvl = 0 then `True
+        else
+          let ok_levels =
+            List.for_all
+              (fun l ->
+                l = u
+                || (not (S.is_assigned s (S.var l)))
+                || s.S.vlevel.(S.var l) < lvl)
+              w.members
+          and ok_scope =
+            List.for_all
+              (fun l ->
+                S.is_assigned s (S.var l)
+                || not (S.precedes s (S.var l) (S.var u)))
+              w.members
+          in
+          if ok_levels && ok_scope then begin
+            let beta = max_level_of_others s w u in
+            let lits = Array.of_list (sorted_lits w) in
+            S.backtrack s beta;
+            let _cid = S.add_constraint s Cube_c ~learned:true lits in
+            s.S.stats.learned_cubes <- s.S.stats.learned_cubes + 1;
+            s.S.stats.backjumps <- s.S.stats.backjumps + 1;
+            `Learned
+          end
+          else
+            match s.S.reason.(S.var u) with
+            | Reason rid when (S.constr s rid).kind = Cube_c ->
+                let r = S.constr s rid in
+                work_remove w u;
+                Array.iter
+                  (fun m -> if S.var m <> S.var u then work_add s w ~bad m)
+                  r.lits;
+                loop (n + 1)
+            | Reason _ | Decision | Flipped | Pure -> raise Fallback
+  in
+  loop 0
+
+(* ---------- entry points ------------------------------------------------ *)
+
+let handle_conflict s cid =
+  if not s.S.config.learning then chrono s ~exist_side:true
+  else
+    match analyze_conflict s cid with
+    | `False -> Concluded False
+    | `Learned -> Continue
+    | exception Fallback ->
+        s.S.stats.chrono_fallbacks <- s.S.stats.chrono_fallbacks + 1;
+        chrono s ~exist_side:true
+
+let handle_solution s source =
+  if not s.S.config.learning then chrono s ~exist_side:false
+  else
+    match analyze_solution s source with
+    | `True -> Concluded True
+    | `Learned -> Continue
+    | exception Fallback ->
+        s.S.stats.chrono_fallbacks <- s.S.stats.chrono_fallbacks + 1;
+        chrono s ~exist_side:false

@@ -1,0 +1,139 @@
+(* The Q-DLL search loop of Figure 1, extended per Sections IV and VI:
+   propagation (units, pures) under the partial order, branching on top
+   variables of the residual QBF, and conflict/solution handling with
+   learning and backjumping (Analyze). *)
+
+open Solver_types
+module S = State
+
+let leaves s = s.S.stats.conflicts + s.S.stats.solutions
+
+let budget_exhausted s =
+  (match s.S.config.max_decisions with
+  | Some m -> s.S.stats.decisions >= m
+  | None -> false)
+  || (match s.S.config.max_nodes with
+     | Some m -> leaves s >= m
+     | None -> false)
+  || (match s.S.config.should_stop with Some f -> f () | None -> false)
+
+(* A stale discovery queue can hide a falsified original clause when all
+   variables end up assigned; rescan to recover it (soundness net, see
+   State).  Returns a conflicting clause id if one exists. *)
+let rescan_falsified s =
+  let rec go cid =
+    if cid >= Vec.length s.S.constrs then None
+    else
+      let c = S.constr s cid in
+      if c.active && c.kind = Clause_c && c.fixed = 0 && c.ue = 0 then
+        Some cid
+      else go (cid + 1)
+  in
+  go 0
+
+(* Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  (* find k with 2^k - 1 = i -> 2^(k-1); else recurse on the tail *)
+  let rec pow2 k = if k = 0 then 1 else 2 * pow2 (k - 1) in
+  let rec find k = if pow2 k - 1 >= i then k else find (k + 1) in
+  let k = find 1 in
+  if pow2 k - 1 = i then pow2 (k - 1) else luby (i - pow2 (k - 1) + 1)
+
+(* Drop the oldest unlocked learned constraints when the learned
+   database outgrows twice the original matrix. *)
+let reduce_db s =
+  let total = Vec.length s.S.constrs in
+  let originals = s.S.num_original in
+  let learned = total - originals in
+  let cap = max 2000 (2 * originals) in
+  if learned > cap then begin
+    let locked = Hashtbl.create 64 in
+    for v = 0 to s.S.nvars - 1 do
+      if S.is_assigned s v then
+        match s.S.reason.(v) with
+        | Reason rid -> Hashtbl.replace locked rid ()
+        | Decision | Flipped | Pure -> ()
+    done;
+    let to_drop = ref (learned / 2) in
+    let cid = ref originals in
+    while !to_drop > 0 && !cid < total do
+      let c = S.constr s !cid in
+      if c.active && c.learned && not (Hashtbl.mem locked !cid) then begin
+        S.deactivate_constraint s !cid;
+        decr to_drop
+      end;
+      incr cid
+    done
+  end
+
+let solve_state s =
+  let restart_idx = ref 1 in
+  let leaves_at_restart = ref 0 in
+  let maybe_restart () =
+    if
+      s.S.config.restarts
+      && leaves s - !leaves_at_restart
+         >= s.S.config.restart_base * luby !restart_idx
+      && S.current_level s > 0
+    then begin
+      S.backtrack s 0;
+      incr restart_idx;
+      leaves_at_restart := leaves s;
+      s.S.stats.restarts_done <- s.S.stats.restarts_done + 1
+    end
+  in
+  let maybe_rescale () =
+    let n = leaves s in
+    if n > 0 && n mod s.S.config.rescale_interval = 0 then
+      S.rescale_activities s
+  in
+  let rec loop () =
+    match Propagate.run s with
+    | Propagate.P_conflict cid -> on_conflict cid
+    | Propagate.P_solution src ->
+        s.S.stats.solutions <- s.S.stats.solutions + 1;
+        S.event s E_solution_leaf;
+        maybe_rescale ();
+        continue_with (Analyze.handle_solution s src)
+    | Propagate.P_none ->
+        if budget_exhausted s then Unknown
+        else if Heuristic.decide s then loop ()
+        else begin
+          (* Every variable assigned but neither a solution nor a conflict
+             was flagged: a conflict must have been hidden by a cleared
+             queue. *)
+          match rescan_falsified s with
+          | Some cid -> on_conflict cid
+          | None -> assert false
+        end
+  and on_conflict cid =
+    s.S.stats.conflicts <- s.S.stats.conflicts + 1;
+    S.event s E_conflict_leaf;
+    maybe_rescale ();
+    continue_with (Analyze.handle_conflict s cid)
+  and continue_with = function
+    | Analyze.Concluded o -> o
+    | Analyze.Continue ->
+        if budget_exhausted s then Unknown
+        else begin
+          (* restarts and database reduction happen between leaves, when
+             no analysis is in flight *)
+          maybe_restart ();
+          if s.S.config.db_reduction && leaves s mod 512 = 0 then
+            reduce_db s;
+          loop ()
+        end
+  in
+  let outcome = loop () in
+  { outcome; stats = s.S.stats }
+
+(* Solve a QBF.  The formula is lightly preprocessed: tautological
+   clauses dropped (done by State), which is enough for the engine's
+   invariants. *)
+let solve ?(config = default_config) formula =
+  let s = S.create formula config in
+  solve_state s
+
+(* Expose state creation for tools that want to inspect the final state
+   (e.g. the Figure-2 trace example). *)
+let create = S.create

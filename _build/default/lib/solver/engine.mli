@@ -1,0 +1,30 @@
+(** The search engine: Q-DLL (Figure 1 of the paper) extended to
+    arbitrary quantifier trees (Section IV) with pure-literal fixing,
+    conflict/solution learning and backjumping, and the TO/PO branching
+    heuristics of Section VI.
+
+    The same engine implements both of the paper's solvers: QuBE(TO) is
+    [solve] on a prenex formula with [heuristic = Total_order], QuBE(PO)
+    is [solve] on the original non-prenex formula with
+    [heuristic = Partial_order] (the default). *)
+
+(** Decide a QBF.  Correct and complete for any budget-free
+    configuration; returns [Unknown] only when a budget of [config]
+    triggers. *)
+val solve :
+  ?config:Solver_types.config -> Qbf_core.Formula.t -> Solver_types.result
+
+(** Lower-level entry points (used by the trace example, tools and
+    tests): create a solver state, run the loop on it. *)
+val create : Qbf_core.Formula.t -> Solver_types.config -> State.t
+
+val solve_state : State.t -> Solver_types.result
+
+(** Scan the database for a falsified clause (the safety net behind
+    discovery-queue clearing; see State). *)
+val rescan_falsified : State.t -> int option
+
+(** Search leaves so far (conflicts + solutions). *)
+val leaves : State.t -> int
+
+val budget_exhausted : State.t -> bool

@@ -1,0 +1,178 @@
+(* Propagation loop: drains the discovery queues filled by the eager
+   counter updates of {!State}, re-verifying each candidate (queues may
+   hold stale entries).  Order: conflicts, matrix-satisfied / true-cube
+   solutions, unit assignments (clauses and cubes, with the partial-order
+   side conditions of Lemma 5 and its dual), then pure literals. *)
+
+open Solver_types
+module S = State
+
+type source = Cover | Cube of int
+
+type outcome =
+  | P_conflict of int (* id of a falsified clause *)
+  | P_solution of source
+  | P_none (* quiescent: decide next *)
+
+let pop_conflict s =
+  let rec go () =
+    if Vec.is_empty s.S.conflict_q then None
+    else
+      let cid = Vec.pop s.S.conflict_q in
+      let c = S.constr s cid in
+      if c.active && c.kind = Clause_c && c.fixed = 0 && c.ue = 0 then Some cid
+      else go ()
+  in
+  go ()
+
+let pop_cube_solution s =
+  let rec go () =
+    if Vec.is_empty s.S.cubesat_q then None
+    else
+      let cid = Vec.pop s.S.cubesat_q in
+      let c = S.constr s cid in
+      if c.active && c.kind = Cube_c && c.fixed = 0 && c.uu = 0 then Some cid
+      else go ()
+  in
+  go ()
+
+(* The clause unit rule (Lemma 5): a clause with a single unassigned
+   existential literal [le], no true literal, and no unassigned universal
+   literal [u] with [|u| ≺ |le|] forces [le]. *)
+let try_unit_clause s cid c =
+  let le = ref (-1) in
+  Array.iter
+    (fun m ->
+      if S.lit_value s m < 0 && s.S.is_exist.(S.var m) then le := m)
+    c.lits;
+  let le = !le in
+  assert (le >= 0);
+  let blocked =
+    Array.exists
+      (fun m ->
+        S.lit_value s m < 0
+        && (not (s.S.is_exist.(S.var m)))
+        && S.precedes s (S.var m) (S.var le))
+      c.lits
+  in
+  if blocked then false
+  else begin
+    s.S.stats.propagations <- s.S.stats.propagations + 1;
+    S.event s (E_propagate le);
+    S.assign s le (Reason cid);
+    true
+  end
+
+(* Dual unit rule for cubes: a cube with a single unassigned universal
+   literal [lu], no false literal, and no unassigned existential [e] with
+   [|e| ≺ |lu|] forces the universal player to falsify [lu]. *)
+let try_unit_cube s cid c =
+  let lu = ref (-1) in
+  Array.iter
+    (fun m ->
+      if S.lit_value s m < 0 && not s.S.is_exist.(S.var m) then lu := m)
+    c.lits;
+  let lu = !lu in
+  assert (lu >= 0);
+  let blocked =
+    Array.exists
+      (fun m ->
+        S.lit_value s m < 0
+        && s.S.is_exist.(S.var m)
+        && S.precedes s (S.var m) (S.var lu))
+      c.lits
+  in
+  if blocked then false
+  else begin
+    s.S.stats.propagations <- s.S.stats.propagations + 1;
+    S.event s (E_propagate (S.neg lu));
+    S.assign s (S.neg lu) (Reason cid);
+    true
+  end
+
+let pop_unit s =
+  let rec go () =
+    if Vec.is_empty s.S.unit_q then false
+    else
+      let cid = Vec.pop s.S.unit_q in
+      let c = S.constr s cid in
+      let fired =
+        c.active && c.fixed = 0
+        &&
+        match c.kind with
+        | Clause_c -> c.ue = 1 && try_unit_clause s cid c
+        | Cube_c -> c.uu = 1 && try_unit_cube s cid c
+      in
+      fired || go ()
+  in
+  go ()
+
+let assign_pure s l =
+  s.S.stats.pure_assignments <- s.S.stats.pure_assignments + 1;
+  S.event s (E_propagate l);
+  S.assign s l Pure
+
+(* Pure-literal fixing.  Universal pures and vanished variables are
+   assigned eagerly.  An existential pure whose assignment would satisfy
+   clauses (the occurring polarity) is *deferred*: satisfying those
+   clauses some other way may later make the variable pure in the
+   opposite (negative) polarity, in which case its definition clauses
+   are covered by the variable itself — which keeps the initial goods of
+   solution learning short.  Deferred pures fire one at a time, only at
+   quiescence. *)
+let pop_pure s =
+  let rec go () =
+    if Vec.is_empty s.S.pure_q then false
+    else
+      let absent = Vec.pop s.S.pure_q in
+      let v = S.var absent in
+      if s.S.pos_unsat.(absent) = 0 && not (S.is_assigned s v) then
+        if s.S.is_exist.(v) && s.S.pos_unsat.(S.neg absent) > 0 then begin
+          Vec.push s.S.pure_defer_q absent;
+          go ()
+        end
+        else begin
+          (* an existential takes the occurring polarity, a universal the
+             absent one (falsifying its occurrences); a vanished variable
+             gets an arbitrary fixed polarity *)
+          let l = if s.S.is_exist.(v) then S.neg absent else absent in
+          assign_pure s l;
+          true
+        end
+      else go ()
+  in
+  go ()
+
+let pop_deferred_pure s =
+  let rec go () =
+    if Vec.is_empty s.S.pure_defer_q then false
+    else
+      let absent = Vec.pop s.S.pure_defer_q in
+      let v = S.var absent in
+      if s.S.pos_unsat.(absent) = 0 && not (S.is_assigned s v) then begin
+        assign_pure s (S.neg absent);
+        true
+      end
+      else go ()
+  in
+  go ()
+
+(* Run propagation to quiescence or to the first conflict/solution. *)
+let run s =
+  let rec loop () =
+    match pop_conflict s with
+    | Some cid -> P_conflict cid
+    | None ->
+        if s.S.unsat_originals = 0 then P_solution Cover
+        else begin
+          match pop_cube_solution s with
+          | Some cid -> P_solution (Cube cid)
+          | None ->
+              if pop_unit s then loop ()
+              else if s.S.config.pure_literals && pop_pure s then loop ()
+              else if s.S.config.pure_literals && pop_deferred_pure s then
+                loop ()
+              else P_none
+        end
+  in
+  loop ()

@@ -1,0 +1,125 @@
+(* Shared types of the search engine. *)
+
+type kind =
+  | Clause_c (* disjunction: element of the matrix or learned nogood *)
+  | Cube_c (* conjunction: learned good *)
+
+type constr = {
+  lits : int array; (* literals as raw ints, see {!Qbf_core.Lit} *)
+  kind : kind;
+  learned : bool;
+  mutable ue : int; (* unassigned existential literals *)
+  mutable uu : int; (* unassigned universal literals *)
+  mutable fixed : int;
+      (* clauses: number of currently true literals (satisfied when > 0);
+         cubes: number of currently false literals (dead when > 0) *)
+  mutable active : bool;
+}
+
+type antecedent =
+  | Decision (* branching choice, first branch *)
+  | Flipped (* branching choice, second branch after a chronological flip *)
+  | Pure (* pure-literal fixing *)
+  | Reason of int (* unit propagation from the constraint with this id *)
+
+(* Which branching rule orders the priority of decision variables. *)
+type heuristic_mode =
+  | Total_order (* QuBE(TO): (prefix level, activity, id) *)
+  | Partial_order (* QuBE(PO): tree-propagated scores (Section VI) *)
+
+type outcome =
+  | True
+  | False
+  | Unknown (* budget exhausted *)
+
+type stats = {
+  mutable decisions : int;
+  mutable propagations : int; (* unit assignments, clauses + cubes *)
+  mutable pure_assignments : int;
+  mutable conflicts : int; (* falsified-clause leaves *)
+  mutable solutions : int; (* satisfied-matrix / true-cube leaves *)
+  mutable learned_clauses : int;
+  mutable learned_cubes : int;
+  mutable backjumps : int; (* learning-driven non-chronological jumps *)
+  mutable chrono_fallbacks : int; (* analyses abandoned for a plain flip *)
+  mutable max_decision_level : int;
+  mutable restarts_done : int;
+  mutable deleted_constraints : int;
+}
+
+let empty_stats () =
+  {
+    decisions = 0;
+    propagations = 0;
+    pure_assignments = 0;
+    conflicts = 0;
+    solutions = 0;
+    learned_clauses = 0;
+    learned_cubes = 0;
+    backjumps = 0;
+    chrono_fallbacks = 0;
+    max_decision_level = 0;
+    restarts_done = 0;
+    deleted_constraints = 0;
+  }
+
+(* Leaves visited: the size measure used by the benchmark harness. *)
+let nodes stats = stats.conflicts + stats.solutions
+
+type event =
+  | E_decide of int (* literal assigned as a branch *)
+  | E_flip of int (* second branch of a chronological flip *)
+  | E_propagate of int (* literal assigned by unit or pure propagation *)
+  | E_conflict_leaf
+  | E_solution_leaf
+  | E_backtrack of int (* target decision level *)
+
+type config = {
+  learning : bool; (* nogood + good learning with backjumping *)
+  pure_literals : bool;
+  heuristic : heuristic_mode;
+  max_decisions : int option;
+  max_nodes : int option; (* bound on conflicts + solutions *)
+  should_stop : (unit -> bool) option; (* external budget, e.g. wall clock *)
+  rescale_interval : int; (* activity-halving period, in leaves *)
+  restarts : bool; (* Luby-scheduled restarts (keep learned constraints) *)
+  restart_base : int; (* leaves per Luby unit *)
+  db_reduction : bool;
+      (* periodically drop the oldest unlocked learned constraints when
+         the learned database outgrows the original matrix *)
+  on_event : (event -> unit) option;
+  aux_hint : (int -> bool) option;
+      (* marks auxiliary (CNF-conversion) variables; solution analysis
+         may then cover clauses with *virtually flipped* auxiliary
+         literals, which existential reduction removes anyway, keeping
+         learned goods short (see Analyze.cover_with) *)
+}
+
+let default_config =
+  {
+    learning = true;
+    pure_literals = true;
+    heuristic = Partial_order;
+    max_decisions = None;
+    max_nodes = None;
+    should_stop = None;
+    rescale_interval = 256;
+    restarts = false;
+    restart_base = 128;
+    db_reduction = false;
+    on_event = None;
+    aux_hint = None;
+  }
+
+type result = { outcome : outcome; stats : stats }
+
+let pp_outcome fmt o =
+  Format.pp_print_string fmt
+    (match o with True -> "true" | False -> "false" | Unknown -> "unknown")
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "decisions=%d propagations=%d pures=%d conflicts=%d solutions=%d \
+     learned=%d+%d backjumps=%d fallbacks=%d"
+    s.decisions s.propagations s.pure_assignments s.conflicts s.solutions
+    s.learned_clauses s.learned_cubes s.backjumps s.chrono_fallbacks

@@ -1,0 +1,381 @@
+(* Mutable search state: assignment trail, constraint database with
+   eager occurrence counters, purity counters, branching availability.
+
+   Literals are raw ints (see {!Qbf_core.Lit}); [2*v] is the positive
+   literal of variable [v].
+
+   Counter scheme: every constraint keeps the number of its unassigned
+   existential ([ue]) and universal ([uu]) literals plus a [fixed] counter
+   (true literals for clauses, false literals for cubes).  Then, with the
+   side conditions of Lemmas 4/5 checked lazily:
+     clause conflict    <-> fixed = 0 && ue = 0
+     clause unit        <-> fixed = 0 && ue = 1  (+ scope condition)
+     cube solution      <-> fixed = 0 && uu = 0
+     cube unit          <-> fixed = 0 && uu = 1  (+ scope condition)
+   Constraints whose counters reach these states are pushed on discovery
+   queues which the propagation loop re-verifies (they may be stale after
+   backtracking, which clears the queues). *)
+
+open Qbf_core
+open Solver_types
+
+let var l = l lsr 1
+let neg l = l lxor 1
+let is_pos l = l land 1 = 0
+
+type t = {
+  prefix : Prefix.t;
+  nvars : int;
+  config : config;
+  stats : stats;
+  constrs : constr Vec.t;
+  occ : int Vec.t array; (* per literal: ids of constraints containing it *)
+  value : int array; (* per var: -1 unassigned / 0 false / 1 true *)
+  reason : antecedent array; (* per var *)
+  vlevel : int array; (* per var: decision level of assignment *)
+  pos : int array; (* per var: trail index of assignment *)
+  trail : int Vec.t; (* assigned literals (true), oldest first *)
+  trail_lim : int Vec.t; (* trail length at the start of each level *)
+  dec_flipped : bool Vec.t; (* per level: second branch of a flip? *)
+  is_exist : bool array; (* per var *)
+  block_of : int array;
+  block_parent : int array;
+  block_unassigned : int array;
+  d : int array; (* prefix timestamps, cached from Prefix *)
+  f : int array;
+  pos_unsat : int array; (* per literal: active unsatisfied clauses *)
+  counter : int array; (* per literal: active constraints containing it *)
+  act : float array; (* per literal: decayed activity *)
+  last_counter : int array;
+  mutable unsat_originals : int;
+  mutable num_original : int;
+  conflict_q : int Vec.t;
+  unit_q : int Vec.t;
+  cubesat_q : int Vec.t;
+  pure_q : int Vec.t; (* candidate *absent* literals *)
+  pure_defer_q : int Vec.t;
+      (* existential pure candidates whose assignment would satisfy
+         clauses; deferred until quiescence so that satisfied-elsewhere
+         auxiliary gates can instead turn pure-negative, which keeps
+         learned goods short (see Propagate) *)
+  seen : int array; (* per var: epoch marks for analysis *)
+  mutable epoch : int;
+  drop_ok : bool array;
+      (* per var: existential with no universal variable anywhere in its
+         ≺-scope, so existential reduction removes it from any cube *)
+  is_aux : bool array;
+      (* per var: declared auxiliary (config.aux_hint) and reducible *)
+}
+
+let dummy_constr =
+  {
+    lits = [||];
+    kind = Clause_c;
+    learned = false;
+    ue = 0;
+    uu = 0;
+    fixed = 0;
+    active = false;
+  }
+
+(* [precedes s v v'] is the paper's z ≺ z' test, eq. (13). *)
+let precedes s v v' = s.d.(v) < s.d.(v') && s.d.(v') <= s.f.(v)
+
+let lit_value s l =
+  let w = s.value.(var l) in
+  if w < 0 then -1 else if (w = 1) = is_pos l then 1 else 0
+
+let is_assigned s v = s.value.(v) >= 0
+let current_level s = Vec.length s.trail_lim
+let constr s cid = Vec.get s.constrs cid
+let event s e = match s.config.on_event with None -> () | Some f -> f e
+
+(* --- purity bookkeeping ------------------------------------------------ *)
+
+let clause_now_satisfied s c =
+  (* fixed went 0 -> 1: the clause leaves the "unsatisfied" pool. *)
+  if not c.learned then s.unsat_originals <- s.unsat_originals - 1;
+  Array.iter
+    (fun m ->
+      s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
+      if s.pos_unsat.(m) = 0 && s.config.pure_literals then
+        Vec.push s.pure_q m)
+    c.lits
+
+let clause_now_unsatisfied s c =
+  (* fixed went 1 -> 0 on backtrack. *)
+  if not c.learned then s.unsat_originals <- s.unsat_originals + 1;
+  Array.iter (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1) c.lits
+
+(* --- constraint touch on assignment ------------------------------------ *)
+
+let check_clause_state s cid c =
+  if c.fixed = 0 then
+    if c.ue = 0 then Vec.push s.conflict_q cid
+    else if c.ue = 1 then Vec.push s.unit_q cid
+
+let check_cube_state s cid c =
+  if c.fixed = 0 then
+    if c.uu = 0 then Vec.push s.cubesat_q cid
+    else if c.uu = 1 then Vec.push s.unit_q cid
+
+(* [m] (a literal of constraint [cid]) was just assigned; [m_true] says
+   whether it became true. *)
+let touch_assign s cid m m_true =
+  let c = Vec.get s.constrs cid in
+  if c.active then begin
+    if s.is_exist.(var m) then c.ue <- c.ue - 1 else c.uu <- c.uu - 1;
+    match c.kind with
+    | Clause_c ->
+        if m_true then begin
+          c.fixed <- c.fixed + 1;
+          if c.fixed = 1 then clause_now_satisfied s c
+        end
+        else check_clause_state s cid c
+    | Cube_c ->
+        if m_true then check_cube_state s cid c
+        else c.fixed <- c.fixed + 1
+  end
+
+let touch_unassign s cid m m_was_true =
+  let c = Vec.get s.constrs cid in
+  if c.active then begin
+    if s.is_exist.(var m) then c.ue <- c.ue + 1 else c.uu <- c.uu + 1;
+    match c.kind with
+    | Clause_c ->
+        if m_was_true then begin
+          c.fixed <- c.fixed - 1;
+          if c.fixed = 0 then clause_now_unsatisfied s c
+        end
+    | Cube_c -> if not m_was_true then c.fixed <- c.fixed - 1
+  end
+
+(* --- assignment and backtracking --------------------------------------- *)
+
+(* Assign literal [l] true.  The caller guarantees [l] is unassigned. *)
+let assign s l ante =
+  let v = var l in
+  assert (s.value.(v) < 0);
+  s.value.(v) <- (if is_pos l then 1 else 0);
+  s.reason.(v) <- ante;
+  s.vlevel.(v) <- current_level s;
+  s.pos.(v) <- Vec.length s.trail;
+  Vec.push s.trail l;
+  let b = s.block_of.(v) in
+  s.block_unassigned.(b) <- s.block_unassigned.(b) - 1;
+  Vec.iter (fun cid -> touch_assign s cid l true) s.occ.(l);
+  Vec.iter (fun cid -> touch_assign s cid (neg l) false) s.occ.(neg l)
+
+let unassign s l =
+  let v = var l in
+  Vec.iter (fun cid -> touch_unassign s cid l true) s.occ.(l);
+  Vec.iter (fun cid -> touch_unassign s cid (neg l) false) s.occ.(neg l);
+  s.value.(v) <- -1;
+  s.reason.(v) <- Decision;
+  let b = s.block_of.(v) in
+  s.block_unassigned.(b) <- s.block_unassigned.(b) + 1
+
+let clear_queues s =
+  Vec.clear s.conflict_q;
+  Vec.clear s.unit_q;
+  Vec.clear s.cubesat_q;
+  Vec.clear s.pure_q;
+  Vec.clear s.pure_defer_q
+
+(* Undo all levels deeper than [level]; discovery queues are cleared
+   (propagation re-verifies candidates, so losing stale ones is safe). *)
+let backtrack s level =
+  assert (level >= 0 && level <= current_level s);
+  if level < current_level s then begin
+    event s (E_backtrack level);
+    let target = Vec.get s.trail_lim level in
+    while Vec.length s.trail > target do
+      unassign s (Vec.pop s.trail)
+    done;
+    Vec.shrink s.trail_lim level;
+    Vec.shrink s.dec_flipped level;
+    clear_queues s
+  end
+
+(* Open a new decision level and assign [l] as its branch. *)
+let new_decision s l ~flipped =
+  Vec.push s.trail_lim (Vec.length s.trail);
+  Vec.push s.dec_flipped flipped;
+  s.stats.decisions <- s.stats.decisions + 1;
+  if current_level s > s.stats.max_decision_level then
+    s.stats.max_decision_level <- current_level s;
+  event s (if flipped then E_flip l else E_decide l);
+  assign s l (if flipped then Flipped else Decision)
+
+(* --- constraint creation ----------------------------------------------- *)
+
+(* Add a constraint over literal array [lits] (sorted, no duplicate
+   variables), computing its counters against the current assignment and
+   flagging it on the discovery queues if it is already unit, conflicting
+   or satisfied-as-a-cube.  Returns its id. *)
+let add_constraint s kind ~learned lits =
+  let cid = Vec.length s.constrs in
+  let c = { lits; kind; learned; ue = 0; uu = 0; fixed = 0; active = true } in
+  Array.iter
+    (fun m ->
+      Vec.push s.occ.(m) cid;
+      s.counter.(m) <- s.counter.(m) + 1;
+      match lit_value s m with
+      | -1 ->
+          if s.is_exist.(var m) then c.ue <- c.ue + 1 else c.uu <- c.uu + 1
+      | 1 -> if kind = Clause_c then c.fixed <- c.fixed + 1
+      | _ -> if kind = Cube_c then c.fixed <- c.fixed + 1)
+    lits;
+  Vec.push s.constrs c;
+  (match kind with
+  | Clause_c ->
+      if c.fixed = 0 then begin
+        if not learned then s.unsat_originals <- s.unsat_originals + 1;
+        Array.iter
+          (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1)
+          lits;
+        check_clause_state s cid c
+      end
+      else if not learned then ()
+  | Cube_c -> check_cube_state s cid c);
+  if not learned then s.num_original <- s.num_original + 1;
+  cid
+
+(* --- availability (top variables of the residual QBF) ------------------ *)
+
+(* A variable is branchable when every variable preceding it is assigned,
+   i.e. all strict-ancestor blocks are fully assigned. *)
+let available s v =
+  (not (is_assigned s v))
+  &&
+  let rec up b = b < 0 || (s.block_unassigned.(b) = 0 && up s.block_parent.(b)) in
+  up s.block_parent.(s.block_of.(v))
+
+(* --- construction ------------------------------------------------------ *)
+
+let create formula config =
+  let prefix = Formula.prefix formula in
+  let nvars = Prefix.nvars prefix in
+  let n = max nvars 1 in
+  let nblocks = max (Prefix.num_blocks prefix) 1 in
+  let s =
+    {
+      prefix;
+      nvars;
+      config;
+      stats = empty_stats ();
+      constrs = Vec.create dummy_constr;
+      occ = Array.init (2 * n) (fun _ -> Vec.create (-1));
+      value = Array.make n (-1);
+      reason = Array.make n Decision;
+      vlevel = Array.make n (-1);
+      pos = Array.make n (-1);
+      trail = Vec.create (-1);
+      trail_lim = Vec.create (-1);
+      dec_flipped = Vec.create false;
+      is_exist = Array.init n (fun v -> v < nvars && Prefix.is_exists prefix v);
+      block_of = Array.init n (fun v -> if v < nvars then Prefix.block_of prefix v else 0);
+      block_parent =
+        Array.init nblocks (fun b ->
+            if b < Prefix.num_blocks prefix then Prefix.block_parent prefix b
+            else -1);
+      block_unassigned =
+        Array.init nblocks (fun b ->
+            if b < Prefix.num_blocks prefix then
+              Array.length (Prefix.block_vars prefix b)
+            else 0);
+      d = Array.init n (fun v -> if v < nvars then Prefix.discovery prefix v else 0);
+      f = Array.init n (fun v -> if v < nvars then Prefix.finish prefix v else 0);
+      pos_unsat = Array.make (2 * n) 0;
+      counter = Array.make (2 * n) 0;
+      act = Array.make (2 * n) 0.;
+      last_counter = Array.make (2 * n) 0;
+      unsat_originals = 0;
+      num_original = 0;
+      conflict_q = Vec.create (-1);
+      unit_q = Vec.create (-1);
+      cubesat_q = Vec.create (-1);
+      pure_q = Vec.create (-1);
+      pure_defer_q = Vec.create (-1);
+      seen = Array.make n 0;
+      epoch = 0;
+      drop_ok = Array.make n false;
+      is_aux = Array.make n false;
+    }
+  in
+  (* drop_ok: existential variables with no universal block strictly
+     below theirs — their literals vanish under existential reduction of
+     any cube. *)
+  let nb = Prefix.num_blocks prefix in
+  let univ_below = Array.make (max nb 1) false in
+  for b = nb - 1 downto 0 do
+    let here =
+      Array.exists
+        (fun c ->
+          univ_below.(c) || Quant.is_forall (Prefix.block_quant prefix c))
+        (Prefix.block_children prefix b)
+    in
+    univ_below.(b) <- here
+  done;
+  for v = 0 to nvars - 1 do
+    s.drop_ok.(v) <-
+      s.is_exist.(v) && not univ_below.(Prefix.block_of prefix v);
+    (match config.aux_hint with
+    | Some h -> s.is_aux.(v) <- s.drop_ok.(v) && h v
+    | None -> ())
+  done;
+  List.iter
+    (fun c ->
+      if not (Clause.is_tautology c) then
+        let lits = Array.map (fun l -> (l : Lit.t :> int)) (Clause.lits c) in
+        ignore (add_constraint s Clause_c ~learned:false lits))
+    (Formula.matrix formula);
+  (* Initial activities mirror the occurrence counters; universal literals
+     score by the occurrences of their negation (Section VI). *)
+  for l = 0 to (2 * nvars) - 1 do
+    let sel = if s.is_exist.(var l) then l else neg l in
+    s.act.(l) <- float_of_int s.counter.(sel);
+    s.last_counter.(l) <- s.counter.(sel)
+  done;
+  (* Initial purity candidates: literals with no occurrence at all. *)
+  if config.pure_literals then
+    for l = 0 to (2 * nvars) - 1 do
+      if s.pos_unsat.(l) = 0 then Vec.push s.pure_q l
+    done;
+  s
+
+(* Deactivate a learned constraint: it stops participating in
+   propagation and purity; occurrence lists keep the stale id (touches
+   check [active]).  The caller guarantees the constraint is not the
+   reason of any assigned variable. *)
+let deactivate_constraint s cid =
+  let c = Vec.get s.constrs cid in
+  if c.active then begin
+    c.active <- false;
+    Array.iter
+      (fun m -> s.counter.(m) <- s.counter.(m) - 1)
+      c.lits;
+    if c.kind = Clause_c && c.fixed = 0 then
+      Array.iter
+        (fun m ->
+          s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
+          if s.pos_unsat.(m) = 0 && s.config.pure_literals then
+            Vec.push s.pure_q m)
+        c.lits;
+    s.stats.deleted_constraints <- s.stats.deleted_constraints + 1
+  end
+
+(* Periodic activity update (Section VI): halve and add the variation of
+   the tracked occurrence counter since the previous update. *)
+let rescale_activities s =
+  for l = 0 to (2 * s.nvars) - 1 do
+    let sel = if s.is_exist.(var l) then l else neg l in
+    let delta = s.counter.(sel) - s.last_counter.(l) in
+    s.act.(l) <- (s.act.(l) /. 2.) +. float_of_int delta;
+    s.last_counter.(l) <- s.counter.(sel)
+  done
+
+(* Fresh epoch for the analysis marker array. *)
+let new_epoch s =
+  s.epoch <- s.epoch + 1;
+  s.epoch

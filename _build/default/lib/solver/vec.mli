@@ -1,0 +1,23 @@
+(** Growable arrays (amortised O(1) push/pop) used by the solver. *)
+
+type 'a t
+
+(** [create dummy] makes an empty vector; [dummy] fills unused slots. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+val top : 'a t -> 'a
+
+(** [shrink v n] truncates to the first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list

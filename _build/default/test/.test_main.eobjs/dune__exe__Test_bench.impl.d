@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest List Printf Qbf_bench Qbf_core Qbf_gen Qbf_models Qbf_prenex Qbf_solver String Util

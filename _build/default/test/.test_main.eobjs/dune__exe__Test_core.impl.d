@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Clause Eval Formula List Lit Prefix Printf QCheck2 Qbf_core Qbf_gen Quant Util

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Clause Formula Int List Prefix Qbf_core Qbf_gen Qbf_io

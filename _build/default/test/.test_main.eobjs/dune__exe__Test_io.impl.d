@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Clause Eval Filename Formula Fun List Prefix QCheck2 Qbf_core Qbf_gen Qbf_io Quant Sys Util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bench Test_core Test_gen Test_io Test_models Test_prenex Test_solver Test_solver_internals

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Fun List Lit Prefix Printf QCheck2 Qbf_core Qbf_gen Qbf_models Qbf_solver Util

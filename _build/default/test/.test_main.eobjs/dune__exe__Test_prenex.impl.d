@@ -1,0 +1,1 @@
+test/test_prenex.ml: Alcotest Array Clause Eval Formula Int List Prefix Printf QCheck2 Qbf_core Qbf_gen Qbf_prenex Qbf_solver Quant Util

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Clause Eval Formula Fun List Lit Prefix Printf QCheck2 Qbf_core Qbf_gen Qbf_solver Quant Util

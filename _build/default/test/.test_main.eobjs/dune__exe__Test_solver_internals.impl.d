@@ -1,0 +1,1 @@
+test/test_solver_internals.ml: Alcotest Array Clause Formula List Lit Prefix Printf Qbf_core Qbf_gen Qbf_models Qbf_solver Quant Util

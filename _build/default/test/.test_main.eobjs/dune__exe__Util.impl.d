@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Clause Format Formula List Prefix Printf QCheck2 QCheck_alcotest Qbf_core Qbf_solver Quant

@@ -1,0 +1,218 @@
+(* Unit and property tests for Qbf_core. *)
+
+open Qbf_core
+
+let test_lit_roundtrip () =
+  for n = -20 to 20 do
+    if n <> 0 then
+      Alcotest.(check int) "dimacs roundtrip" n (Lit.to_dimacs (Lit.of_dimacs n))
+  done;
+  let l = Lit.of_dimacs 5 in
+  Alcotest.(check bool) "positive" true (Lit.is_pos l);
+  Alcotest.(check int) "negate" (-5) (Lit.to_dimacs (Lit.negate l));
+  Alcotest.(check int) "var" 4 (Lit.var l)
+
+let test_clause_basic () =
+  let c = Clause.of_dimacs_list [ 3; -1; 3; 2 ] in
+  Alcotest.(check int) "dedup size" 3 (Clause.size c);
+  Alcotest.(check bool) "mem" true (Clause.mem (Lit.of_dimacs (-1)) c);
+  Alcotest.(check bool) "not mem" false (Clause.mem (Lit.of_dimacs 1) c);
+  Alcotest.(check bool) "mem var" true (Clause.mem_var 0 c);
+  Alcotest.(check bool) "tautology no" false (Clause.is_tautology c);
+  let t = Clause.of_dimacs_list [ 1; -1; 2 ] in
+  Alcotest.(check bool) "tautology yes" true (Clause.is_tautology t)
+
+let test_clause_resolve () =
+  let a = Clause.of_dimacs_list [ 1; 2 ] in
+  let b = Clause.of_dimacs_list [ -1; 3 ] in
+  let r = Clause.resolve a b 0 in
+  Alcotest.(check bool) "resolvent" true
+    (Clause.equal r (Clause.of_dimacs_list [ 2; 3 ]))
+
+(* Timestamps of the paper's running example (Section VI). *)
+let test_prefix_timestamps () =
+  let f = Util.paper_formula_1 () in
+  let p = Formula.prefix f in
+  let expect_d = [ (0, 1); (1, 2); (2, 3); (3, 3); (4, 4); (5, 5); (6, 5) ] in
+  let expect_f = [ (0, 5); (1, 3); (2, 3); (3, 3); (4, 5); (5, 5); (6, 5) ] in
+  List.iter
+    (fun (v, d) ->
+      Alcotest.(check int) (Printf.sprintf "d(%d)" v) d (Prefix.discovery p v))
+    expect_d;
+  List.iter
+    (fun (v, fv) ->
+      Alcotest.(check int) (Printf.sprintf "f(%d)" v) fv (Prefix.finish p v))
+    expect_f;
+  Alcotest.(check int) "prefix level" 3 (Prefix.prefix_level p);
+  Alcotest.(check int) "level x0" 1 (Prefix.level p 0);
+  Alcotest.(check int) "level x1" 3 (Prefix.level p 2);
+  Alcotest.(check bool) "not prenex" false (Prefix.is_prenex p)
+
+let test_prefix_order () =
+  let f = Util.paper_formula_1 () in
+  let p = Formula.prefix f in
+  let prec = Prefix.precedes p in
+  Alcotest.(check bool) "x0<y1" true (prec 0 1);
+  Alcotest.(check bool) "x0<y2" true (prec 0 4);
+  Alcotest.(check bool) "y1<x1" true (prec 1 2);
+  Alcotest.(check bool) "y1<x3 (different branch)" false (prec 1 5);
+  Alcotest.(check bool) "y2<x1 (different branch)" false (prec 4 2);
+  Alcotest.(check bool) "y1<y2" false (prec 1 4);
+  Alcotest.(check bool) "x1<x2 same block" false (prec 2 3);
+  Alcotest.(check bool) "irreflexive" false (prec 0 0)
+
+let test_prefix_prenex () =
+  let p =
+    Prefix.of_blocks ~nvars:4
+      [ (Quant.Exists, [ 0 ]); (Quant.Forall, [ 1; 2 ]); (Quant.Exists, [ 3 ]) ]
+  in
+  Alcotest.(check bool) "prenex" true (Prefix.is_prenex p);
+  Alcotest.(check bool) "0<1" true (Prefix.precedes p 0 1);
+  Alcotest.(check bool) "1<3" true (Prefix.precedes p 1 3);
+  Alcotest.(check bool) "0<3" true (Prefix.precedes p 0 3);
+  Alcotest.(check bool) "1<2 same block" false (Prefix.precedes p 1 2);
+  Alcotest.(check int) "levels" 3 (Prefix.prefix_level p)
+
+let test_prefix_merge_chains () =
+  (* ∃x ∃y collapses into one block; adjacent same-quant chain nodes
+     merge, so the two variables are unordered. *)
+  let p =
+    Prefix.of_forest ~nvars:2
+      [ Prefix.node Quant.Exists [ 0 ] [ Prefix.node Quant.Exists [ 1 ] [] ] ]
+  in
+  Alcotest.(check int) "one block" 1 (Prefix.num_blocks p);
+  Alcotest.(check bool) "unordered" false
+    (Prefix.precedes p 0 1 || Prefix.precedes p 1 0)
+
+let test_prefix_free_vars () =
+  (* Unbound variables become outermost existentials. *)
+  let p =
+    Prefix.of_forest ~nvars:3 [ Prefix.node Quant.Forall [ 1 ] [] ]
+  in
+  Alcotest.(check bool) "free exists" true (Prefix.is_exists p 0);
+  Alcotest.(check bool) "free exists 2" true (Prefix.is_exists p 2);
+  Alcotest.(check bool) "free before bound" true (Prefix.precedes p 0 1)
+
+let test_prefix_ill_formed () =
+  Alcotest.check_raises "double bind"
+    (Prefix.Ill_formed "variable 0 bound twice") (fun () ->
+      ignore
+        (Prefix.of_forest ~nvars:1
+           [ Prefix.node Quant.Exists [ 0; 0 ] [] ]));
+  Alcotest.check_raises "out of range"
+    (Prefix.Ill_formed "variable 5 out of range") (fun () ->
+      ignore (Prefix.of_forest ~nvars:2 [ Prefix.node Quant.Exists [ 5 ] [] ]))
+
+let test_universal_reduction () =
+  (* ∃x ∀y: clause {x, y} reduces to {x}; clause {y} is contradictory. *)
+  let p = Prefix.of_blocks ~nvars:2 [ (Quant.Exists, [ 0 ]); (Quant.Forall, [ 1 ]) ] in
+  let c = Util.clause [ 1; 2 ] in
+  let r = Formula.universal_reduce_clause p c in
+  Alcotest.(check bool) "reduced" true (Clause.equal r (Util.clause [ 1 ]));
+  Alcotest.(check bool) "contradictory" true
+    (Formula.is_contradictory_clause p (Util.clause [ 2 ]));
+  (* ∀y ∃x: clause {x, y} does not reduce. *)
+  let p' = Prefix.of_blocks ~nvars:2 [ (Quant.Forall, [ 1 ]); (Quant.Exists, [ 0 ]) ] in
+  let r' = Formula.universal_reduce_clause p' c in
+  Alcotest.(check int) "no reduction" 2 (Clause.size r')
+
+let test_eval_basics () =
+  (* ∀y ∃x (x ≡ y): true.  ∃x ∀y (x ≡ y): false. *)
+  let matrix = [ Util.clause [ 1; -2 ]; Util.clause [ -1; 2 ] ] in
+  let fa_then_ex =
+    Formula.make
+      (Prefix.of_blocks ~nvars:2 [ (Quant.Forall, [ 1 ]); (Quant.Exists, [ 0 ]) ])
+      matrix
+  in
+  let ex_then_fa =
+    Formula.make
+      (Prefix.of_blocks ~nvars:2 [ (Quant.Exists, [ 0 ]); (Quant.Forall, [ 1 ]) ])
+      matrix
+  in
+  Alcotest.(check bool) "forall exists" true (Eval.eval fa_then_ex);
+  Alcotest.(check bool) "exists forall" false (Eval.eval ex_then_fa);
+  (* Empty matrix: true.  Empty clause: false. *)
+  let p1 = Prefix.of_blocks ~nvars:1 [ (Quant.Exists, [ 0 ]) ] in
+  Alcotest.(check bool) "empty matrix" true (Eval.eval (Formula.make p1 []));
+  Alcotest.(check bool) "empty clause" false
+    (Eval.eval (Formula.make p1 [ Clause.of_list [] ]))
+
+let test_eval_paper_formula () =
+  Alcotest.(check bool) "formula (1) is false" false
+    (Eval.eval (Util.paper_formula_1 ()));
+  Alcotest.(check bool) "prenex formula (1) is false" false
+    (Eval.eval (Util.paper_formula_1_prenex ()))
+
+(* Property: precedes is a strict partial order, total across
+   opposite-quantifier pairs on prenex prefixes. *)
+let gen_small_tree_formula =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* nvars = int_range 1 10 in
+    let* nclauses = int_range 0 12 in
+    return (seed, nvars, nclauses))
+
+let make_tree_formula (seed, nvars, nclauses) =
+  let rng = Qbf_gen.Rng.create seed in
+  Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len:3 ()
+
+let prop_order_properties input =
+  let f = make_tree_formula input in
+  let p = Formula.prefix f in
+  let n = Prefix.nvars p in
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    if Prefix.precedes p a a then ok := false;
+    for b = 0 to n - 1 do
+      if Prefix.precedes p a b && Prefix.precedes p b a then ok := false;
+      for c = 0 to n - 1 do
+        if
+          Prefix.precedes p a b && Prefix.precedes p b c
+          && not (Prefix.precedes p a c)
+        then ok := false
+      done
+    done
+  done;
+  !ok
+
+let prop_universal_reduction_preserves_value input =
+  let f = make_tree_formula input in
+  let reduced = Formula.simplify f in
+  Eval.eval f = Eval.eval reduced
+
+let prop_prenex_total input =
+  let seed, nvars, _ = input in
+  let rng = Qbf_gen.Rng.create seed in
+  let f = Qbf_gen.Randqbf.prenex rng ~nvars ~levels:3 ~nclauses:1 ~len:1 ~min_exists:0 () in
+  let p = Formula.prefix f in
+  let ok = ref true in
+  for a = 0 to nvars - 1 do
+    for b = 0 to nvars - 1 do
+      let opposite = Prefix.is_exists p a <> Prefix.is_exists p b in
+      if opposite && not (Prefix.precedes p a b || Prefix.precedes p b a) then
+        ok := false
+    done
+  done;
+  !ok && Prefix.is_prenex p
+
+let suite =
+  [
+    Alcotest.test_case "lit roundtrip" `Quick test_lit_roundtrip;
+    Alcotest.test_case "clause basics" `Quick test_clause_basic;
+    Alcotest.test_case "clause resolve" `Quick test_clause_resolve;
+    Alcotest.test_case "prefix timestamps (paper ex.)" `Quick test_prefix_timestamps;
+    Alcotest.test_case "prefix order (paper ex.)" `Quick test_prefix_order;
+    Alcotest.test_case "prenex prefix" `Quick test_prefix_prenex;
+    Alcotest.test_case "chain merging" `Quick test_prefix_merge_chains;
+    Alcotest.test_case "free variables" `Quick test_prefix_free_vars;
+    Alcotest.test_case "ill-formed prefixes" `Quick test_prefix_ill_formed;
+    Alcotest.test_case "universal reduction" `Quick test_universal_reduction;
+    Alcotest.test_case "eval basics" `Quick test_eval_basics;
+    Alcotest.test_case "eval paper formula (1)" `Quick test_eval_paper_formula;
+    Util.qcheck_case "precedes is a strict partial order"
+      gen_small_tree_formula prop_order_properties;
+    Util.qcheck_case "universal reduction preserves value"
+      gen_small_tree_formula prop_universal_reduction_preserves_value;
+    Util.qcheck_case "prenex prefixes are total across quantifiers"
+      gen_small_tree_formula prop_prenex_total;
+  ]

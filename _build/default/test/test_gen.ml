@@ -1,0 +1,110 @@
+(* Generator tests: well-formedness, determinism, structural shape. *)
+
+open Qbf_core
+
+let rng seed = Qbf_gen.Rng.create seed
+
+let test_rng_determinism () =
+  let a = rng 42 and b = rng 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Qbf_gen.Rng.int a 1000)
+      (Qbf_gen.Rng.int b 1000)
+  done
+
+let test_rng_ranges () =
+  let r = rng 7 in
+  for _ = 1 to 1000 do
+    let x = Qbf_gen.Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Qbf_gen.Rng.range r 5 8 in
+    Alcotest.(check bool) "range" true (y >= 5 && y <= 8);
+    let f = Qbf_gen.Rng.float r in
+    Alcotest.(check bool) "float" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_sample () =
+  let r = rng 7 in
+  for k = 0 to 12 do
+    let s = Qbf_gen.Rng.sample r k 12 in
+    Alcotest.(check int) "size" k (Array.length s);
+    let sorted = List.sort_uniq Int.compare (Array.to_list s) in
+    Alcotest.(check int) "distinct" k (List.length sorted);
+    List.iter
+      (fun x -> Alcotest.(check bool) "bounds" true (x >= 0 && x < 12))
+      sorted
+  done
+
+let well_formed f =
+  Formula.path_consistent f
+  && List.for_all
+       (fun c -> not (Formula.is_contradictory_clause (Formula.prefix f) c))
+       (Formula.matrix f)
+
+let test_ncf_shape () =
+  let r = rng 3 in
+  for seed = 0 to 20 do
+    ignore seed;
+    let f = Qbf_gen.Ncf.generate r { Qbf_gen.Ncf.dep = 6; var = 4; cls = 30; lpc = 3 } in
+    Alcotest.(check bool) "well-formed" true (well_formed f);
+    Alcotest.(check bool) "non-prenex" false
+      (Prefix.is_prenex (Formula.prefix f));
+    Alcotest.(check bool) "deep tree" true
+      (Prefix.prefix_level (Formula.prefix f) >= 11)
+  done
+
+let test_fpv_shape () =
+  let r = rng 4 in
+  for _ = 0 to 20 do
+    let f = Qbf_gen.Fpv.generate r Qbf_gen.Fpv.default in
+    Alcotest.(check bool) "well-formed" true (well_formed f);
+    Alcotest.(check int) "prefix level 3" 3
+      (Prefix.prefix_level (Formula.prefix f));
+    Alcotest.(check bool) "non-prenex" false
+      (Prefix.is_prenex (Formula.prefix f))
+  done
+
+let test_game_shape () =
+  let r = rng 5 in
+  let f = Qbf_gen.Fixed.game r ~layers:5 ~width:3 ~edge_prob:0.8 in
+  Alcotest.(check bool) "prenex" true (Prefix.is_prenex (Formula.prefix f));
+  Alcotest.(check int) "nvars" 15 (Formula.nvars f);
+  Alcotest.(check int) "levels" 5 (Prefix.prefix_level (Formula.prefix f))
+
+let test_random_prenex_min_exists () =
+  let r = rng 6 in
+  for _ = 0 to 30 do
+    let f = Qbf_gen.Randqbf.prenex r ~nvars:12 ~levels:3 ~nclauses:20 ~len:3 () in
+    List.iter
+      (fun c ->
+        let n_e =
+          List.length
+            (List.filter
+               (Prefix.is_exists (Formula.prefix f))
+               (Clause.vars c))
+        in
+        Alcotest.(check bool) "min 2 existential" true (n_e >= 2))
+      (Formula.matrix f)
+  done
+
+let test_generators_deterministic () =
+  let make seed =
+    Qbf_io.Nqdimacs.to_string
+      (Qbf_gen.Ncf.generate (rng seed)
+         { Qbf_gen.Ncf.dep = 4; var = 4; cls = 20; lpc = 3 })
+  in
+  Alcotest.(check string) "same seed same instance" (make 11) (make 11);
+  Alcotest.(check bool) "different seeds differ" true (make 11 <> make 12)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng sample" `Quick test_rng_sample;
+    Alcotest.test_case "ncf shape" `Quick test_ncf_shape;
+    Alcotest.test_case "fpv shape" `Quick test_fpv_shape;
+    Alcotest.test_case "game shape" `Quick test_game_shape;
+    Alcotest.test_case "random prenex min-exists" `Quick
+      test_random_prenex_min_exists;
+    Alcotest.test_case "generator determinism" `Quick
+      test_generators_deterministic;
+  ]

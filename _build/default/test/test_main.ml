@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "qbf"
+    [
+      ("core", Test_core.suite);
+      ("solver", Test_solver.suite);
+      ("solver-internals", Test_solver_internals.suite);
+      ("prenex", Test_prenex.suite);
+      ("io", Test_io.suite);
+      ("gen", Test_gen.suite);
+      ("models", Test_models.suite);
+      ("bench", Test_bench.suite);
+    ]

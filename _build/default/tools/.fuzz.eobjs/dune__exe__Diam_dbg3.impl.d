@@ -1,0 +1,1 @@
+tools/diam_dbg3.ml: Diameter Families Printf Qbf_core Qbf_models Qbf_solver Unix

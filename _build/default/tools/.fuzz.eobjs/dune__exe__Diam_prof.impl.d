@@ -1,0 +1,1 @@
+tools/diam_prof.ml: Diameter Families Format Printf Qbf_core Qbf_models Qbf_solver Unix

@@ -1,0 +1,1 @@
+tools/diam_prof.mli:

@@ -1,0 +1,1 @@
+tools/diam_scale.ml: Diameter Families List Printf Qbf_models Qbf_solver Unix

@@ -1,0 +1,1 @@
+tools/fpv_tune.ml: Float List Printf Qbf_bench Qbf_gen Qbf_solver

@@ -1,0 +1,1 @@
+tools/fpv_tune.mli:

@@ -1,0 +1,1 @@
+tools/fuzz.ml: Array Eval List Printf Qbf_core Qbf_gen Qbf_solver Sys

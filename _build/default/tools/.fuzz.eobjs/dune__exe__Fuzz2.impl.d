@@ -1,0 +1,1 @@
+tools/fuzz2.ml: Array Eval Printf Qbf_core Qbf_gen Qbf_solver Sys

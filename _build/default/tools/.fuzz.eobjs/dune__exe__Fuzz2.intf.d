@@ -1,0 +1,1 @@
+tools/fuzz2.mli:

@@ -1,0 +1,1 @@
+tools/fuzz3.ml: Array Eval Format Printf Qbf_core Qbf_gen Qbf_solver Sys

@@ -1,0 +1,1 @@
+tools/fuzz3.mli:

@@ -1,0 +1,1 @@
+tools/fuzz4.ml: Eval Format Formula List Prefix Printf Qbf_core Qbf_gen Qbf_prenex

@@ -1,0 +1,1 @@
+tools/fuzz4.mli:

@@ -1,0 +1,1 @@
+tools/fuzz5.ml: Eval Format Formula Printf Qbf_core Qbf_gen Qbf_prenex

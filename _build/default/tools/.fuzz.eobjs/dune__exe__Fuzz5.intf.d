@@ -1,0 +1,1 @@
+tools/fuzz5.mli:

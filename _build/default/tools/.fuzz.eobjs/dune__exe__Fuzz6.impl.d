@@ -1,0 +1,1 @@
+tools/fuzz6.ml: Eval Format Formula Prefix Printf Qbf_core Qbf_gen Qbf_prenex Quant

@@ -1,0 +1,1 @@
+tools/fuzz6.mli:

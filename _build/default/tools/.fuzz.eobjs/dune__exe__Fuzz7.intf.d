@@ -1,0 +1,1 @@
+tools/fuzz7.mli:

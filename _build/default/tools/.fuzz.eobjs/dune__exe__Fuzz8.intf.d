@@ -1,0 +1,1 @@
+tools/fuzz8.mli:

@@ -1,0 +1,1 @@
+tools/gen_check.ml: List Printf Qbf_gen Qbf_solver Unix

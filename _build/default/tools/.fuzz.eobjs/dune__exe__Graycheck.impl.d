@@ -1,0 +1,1 @@
+tools/graycheck.ml: List Printf Qbf_models

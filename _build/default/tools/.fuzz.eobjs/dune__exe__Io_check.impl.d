@@ -1,0 +1,1 @@
+tools/io_check.ml: Format Formula Prefix Printf Qbf_core Qbf_io Qbf_models Qbf_solver Quant

@@ -1,0 +1,1 @@
+tools/io_check.mli:

@@ -1,0 +1,1 @@
+tools/ncf_tune.ml: List Printf Qbf_bench Qbf_gen Qbf_prenex Qbf_solver

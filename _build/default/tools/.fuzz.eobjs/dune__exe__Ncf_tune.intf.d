@@ -1,0 +1,1 @@
+tools/ncf_tune.mli:

@@ -1,0 +1,1 @@
+tools/nqtest.ml: Printexc Printf Qbf_io

@@ -1,0 +1,24 @@
+(* Quick diameter sanity: BFS vs QBF for small models. *)
+open Qbf_models
+let () =
+  let models = [
+    Families.counter ~bits:2; Families.counter ~bits:3;
+    Families.ring ~gates:3; Families.ring ~gates:4;
+    Families.semaphore ~procs:2; Families.semaphore ~procs:3;
+    Families.dme ~cells:2; Families.dme ~cells:3;
+  ] in
+  List.iter (fun m ->
+    let bfs = Reach.diameter m in
+    let t0 = Unix.gettimeofday () in
+    let qbf_po = Diameter.compute ~style:Diameter.Nonprenex m in
+    let t1 = Unix.gettimeofday () in
+    let qbf_to =
+      Diameter.compute ~style:Diameter.Prenex
+        ~config:{ Qbf_solver.Solver_types.default_config with
+                  Qbf_solver.Solver_types.heuristic = Qbf_solver.Solver_types.Total_order } m in
+    let t2 = Unix.gettimeofday () in
+    Printf.printf "%-12s bits=%2d reach=%3d bfs_d=%3d qbf_po=%s (%.2fs) qbf_to=%s (%.2fs)\n%!"
+      (Model.name m) (Model.bits m) (Reach.num_reachable m) bfs
+      (match qbf_po with Some d -> string_of_int d | None -> "?") (t1 -. t0)
+      (match qbf_to with Some d -> string_of_int d | None -> "?") (t2 -. t1))
+    models

@@ -1,0 +1,65 @@
+(* Instrumented solve of counter3 phi_3: inspect solution leaves. *)
+open Qbf_models
+module ST = Qbf_solver.Solver_types
+module S = Qbf_solver.State
+module E = Qbf_solver.Engine
+let () =
+  let m = Families.counter ~bits:3 in
+  let n = 3 in
+  let lay = Diameter.build m ~n in
+  let f = lay.Diameter.formula in
+  let s = E.create f (Diameter.config_for lay) in
+  let nuniv = ref 0 in
+  for v = 0 to Qbf_core.Formula.nvars f - 1 do
+    if not s.S.is_exist.(v) then incr nuniv
+  done;
+  let leaves = ref 0 in
+  let rec loop () =
+    match Qbf_solver.Propagate.run s with
+    | Qbf_solver.Propagate.P_conflict cid ->
+        (match Qbf_solver.Analyze.handle_conflict s cid with
+         | Qbf_solver.Analyze.Concluded o -> o
+         | Continue -> loop ())
+    | Qbf_solver.Propagate.P_solution src ->
+        incr leaves;
+        let assigned_u = ref 0 and assigned_u_branch = ref 0 in
+        for v = 0 to Qbf_core.Formula.nvars f - 1 do
+          if (not s.S.is_exist.(v)) && S.is_assigned s v then begin
+            incr assigned_u;
+            (match s.S.reason.(v) with ST.Decision | ST.Flipped -> incr assigned_u_branch | _ -> ())
+          end
+        done;
+        if !leaves <= 12 then begin
+          Printf.printf "leaf %d: univ assigned %d/%d (branched %d) trail=%d src=%s\n%!"
+            !leaves !assigned_u !nuniv !assigned_u_branch
+            (Qbf_solver.Vec.length s.S.trail)
+            (match src with Qbf_solver.Propagate.Cover -> "cover" | _ -> "cube");
+          (* also learned cube size after analysis *)
+        end;
+        s.S.stats.ST.solutions <- s.S.stats.ST.solutions + 1;
+        (match Qbf_solver.Analyze.handle_solution s src with
+         | Qbf_solver.Analyze.Concluded o -> o
+         | Continue ->
+            (if !leaves <= 12 then begin
+              (* print last learned cube *)
+              let nc = Qbf_solver.Vec.length s.S.constrs - 1 in
+              let c = S.constr s nc in
+              if c.ST.kind = ST.Cube_c then begin
+                Printf.printf "  learned cube size %d:" (Array.length c.ST.lits);
+                Array.iter (fun l ->
+                  let v = l lsr 1 in
+                  Printf.printf " %s%d%s" (if l land 1 = 1 then "-" else "") (v+1)
+                    (if s.S.is_exist.(v) then "e" else "u")) c.ST.lits;
+                print_newline ()
+              end
+            end);
+            loop ())
+    | Qbf_solver.Propagate.P_none ->
+        if Qbf_solver.Heuristic.decide s then loop ()
+        else (match E.rescan_falsified s with
+              | Some cid -> (match Qbf_solver.Analyze.handle_conflict s cid with
+                             | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+              | None -> assert false)
+  in
+  let o = loop () in
+  Printf.printf "outcome=%s leaves=%d\n" (match o with ST.True->"T"|ST.False->"F"|_->"U") !leaves

@@ -1,0 +1,47 @@
+(* At the first solution leaf, show which clauses force universal picks. *)
+open Qbf_models
+module ST = Qbf_solver.Solver_types
+module S = Qbf_solver.State
+module E = Qbf_solver.Engine
+let () =
+  let m = Families.counter ~bits:3 in
+  let lay = Diameter.build m ~n:3 in
+  let f = lay.Diameter.formula in
+  let s = E.create f ST.default_config in
+  let lit_str l =
+    let v = l lsr 1 in
+    Printf.sprintf "%s%d%s" (if l land 1 = 1 then "-" else "") (v+1)
+      (if s.S.is_exist.(v) then "e" else "u") in
+  let rec loop () =
+    match Qbf_solver.Propagate.run s with
+    | Qbf_solver.Propagate.P_conflict cid ->
+        (match Qbf_solver.Analyze.handle_conflict s cid with
+         | Qbf_solver.Analyze.Concluded _ -> ()
+         | Continue -> loop ())
+    | Qbf_solver.Propagate.P_solution _ ->
+        (* replicate cover greedily, printing universal picks *)
+        let inwork = Hashtbl.create 64 in
+        for cid = 0 to Qbf_solver.Vec.length s.S.constrs - 1 do
+          let c = S.constr s cid in
+          if (not c.ST.learned) && c.ST.kind = ST.Clause_c && c.ST.active then begin
+            let already = Array.exists (fun l -> Hashtbl.mem inwork l && S.lit_value s l = 1) c.ST.lits in
+            if not already then begin
+              let pick = ref (-1) in
+              let better l old =
+                let e_m = s.S.is_exist.(l lsr 1) and e_o = s.S.is_exist.(old lsr 1) in
+                if e_m <> e_o then e_m else s.S.pos.(l lsr 1) < s.S.pos.(old lsr 1) in
+              Array.iter (fun l -> if S.lit_value s l = 1 && (!pick < 0 || better l !pick) then pick := l) c.ST.lits;
+              Hashtbl.replace inwork !pick ();
+              if not s.S.is_exist.(!pick lsr 1) then begin
+                Printf.printf "univ pick %s for clause:" (lit_str !pick);
+                Array.iter (fun l -> Printf.printf " %s%s" (lit_str l)
+                  (match S.lit_value s l with 1 -> "(T)" | 0 -> "(F)" | _ -> "(?)")) c.ST.lits;
+                print_newline ()
+              end
+            end
+          end
+        done
+    | Qbf_solver.Propagate.P_none ->
+        if Qbf_solver.Heuristic.decide s then loop () else ()
+  in
+  loop ()

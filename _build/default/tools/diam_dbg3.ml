@@ -1,0 +1,48 @@
+(* Test: chronological lowest-id branching; count leaves for counter3 phi_n. *)
+open Qbf_models
+module ST = Qbf_solver.Solver_types
+module S = Qbf_solver.State
+module E = Qbf_solver.Engine
+let () =
+  let m = Families.counter ~bits:3 in
+  for n = 0 to 6 do
+    let f = (Diameter.build m ~n).Diameter.formula in
+    let s = E.create f ST.default_config in
+    let decide_by_id () =
+      let best = ref (-1) in
+      (try
+        for v = 0 to Qbf_core.Formula.nvars f - 1 do
+          if S.available s v then begin best := v; raise Exit end
+        done
+      with Exit -> ());
+      if !best < 0 then false
+      else begin
+        S.new_decision s (2 * !best + 1) ~flipped:false; (* negative phase *)
+        true
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    let rec loop () =
+      match Qbf_solver.Propagate.run s with
+      | Qbf_solver.Propagate.P_conflict cid ->
+          s.S.stats.ST.conflicts <- s.S.stats.ST.conflicts + 1;
+          (match Qbf_solver.Analyze.handle_conflict s cid with
+           | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+      | Qbf_solver.Propagate.P_solution src ->
+          s.S.stats.ST.solutions <- s.S.stats.ST.solutions + 1;
+          (match Qbf_solver.Analyze.handle_solution s src with
+           | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+      | Qbf_solver.Propagate.P_none ->
+          if decide_by_id () then loop ()
+          else (match E.rescan_falsified s with
+                | Some cid ->
+                    s.S.stats.ST.conflicts <- s.S.stats.ST.conflicts + 1;
+                    (match Qbf_solver.Analyze.handle_conflict s cid with
+                     | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+                | None -> assert false)
+    in
+    let o = loop () in
+    Printf.printf "n=%d -> %s %.2fs conflicts=%d solutions=%d pures=%d\n%!" n
+      (match o with ST.True->"T"|ST.False->"F"|_->"U")
+      (Unix.gettimeofday () -. t0) s.S.stats.ST.conflicts s.S.stats.ST.solutions s.S.stats.ST.pure_assignments
+  done

@@ -1,0 +1,40 @@
+(* Histogram of #branched universals per solution leaf, counter3 phi_3. *)
+open Qbf_models
+module ST = Qbf_solver.Solver_types
+module S = Qbf_solver.State
+module E = Qbf_solver.Engine
+let () =
+  let m = Families.counter ~bits:3 in
+  let f = (Diameter.build m ~n:3).Diameter.formula in
+  let s = E.create f ST.default_config in
+  let nv = Qbf_core.Formula.nvars f in
+  let hist = Array.make 20 0 in
+  let decide_by_id () =
+    let best = ref (-1) in
+    (try for v = 0 to nv - 1 do if S.available s v then begin best := v; raise Exit end done with Exit -> ());
+    if !best < 0 then false
+    else begin S.new_decision s (2 * !best + 1) ~flipped:false; true end
+  in
+  let rec loop () =
+    match Qbf_solver.Propagate.run s with
+    | Qbf_solver.Propagate.P_conflict cid ->
+        (match Qbf_solver.Analyze.handle_conflict s cid with
+         | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+    | Qbf_solver.Propagate.P_solution src ->
+        let b = ref 0 in
+        for v = 0 to nv - 1 do
+          if (not s.S.is_exist.(v)) && S.is_assigned s v then
+            (match s.S.reason.(v) with ST.Decision | ST.Flipped -> incr b | _ -> ())
+        done;
+        hist.(!b) <- hist.(!b) + 1;
+        (match Qbf_solver.Analyze.handle_solution s src with
+         | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+    | Qbf_solver.Propagate.P_none ->
+        if decide_by_id () then loop ()
+        else (match E.rescan_falsified s with
+              | Some cid -> (match Qbf_solver.Analyze.handle_conflict s cid with
+                             | Qbf_solver.Analyze.Concluded o -> o | Continue -> loop ())
+              | None -> assert false)
+  in
+  ignore (loop ());
+  Array.iteri (fun i c -> if c > 0 then Printf.printf "branched_u=%d : %d leaves\n" i c) hist

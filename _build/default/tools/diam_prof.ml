@@ -1,0 +1,15 @@
+open Qbf_models
+module ST = Qbf_solver.Solver_types
+let () =
+  let m = Families.counter ~bits:3 in
+  for n = 0 to 7 do
+    let lay = Diameter.build m ~n in let f = lay.Diameter.formula in
+    let t0 = Unix.gettimeofday () in
+    let config = Diameter.config_for ~config:{ ST.default_config with ST.max_nodes = Some 2_000_000 } lay in
+    let r = Qbf_solver.Engine.solve ~config f in
+    Printf.printf "n=%d vars=%d cls=%d -> %s %.2fs %s\n%!" n
+      (Qbf_core.Formula.nvars f) (Qbf_core.Formula.num_clauses f)
+      (match r.ST.outcome with ST.True->"T"|ST.False->"F"|_->"U")
+      (Unix.gettimeofday () -. t0)
+      (Format.asprintf "%a" ST.pp_stats r.ST.stats)
+  done

@@ -1,0 +1,27 @@
+(* Scaling check for Fig 6: counter<N> and semaphore<N>, PO vs TO. *)
+open Qbf_models
+module ST = Qbf_solver.Solver_types
+let time_diameter style m max_n budget =
+  let t0 = Unix.gettimeofday () in
+  let config = { ST.default_config with
+    ST.heuristic = (match style with Diameter.Nonprenex -> ST.Partial_order | _ -> ST.Total_order);
+    ST.max_nodes = Some budget } in
+  let d = Diameter.compute ~config ~style ~max_n m in
+  (d, Unix.gettimeofday () -. t0)
+let () =
+  List.iter (fun bits ->
+    let m = Families.counter ~bits in
+    let (dpo, tpo) = time_diameter Diameter.Nonprenex m 40 300000 in
+    let (dto, tto) = time_diameter Diameter.Prenex m 40 300000 in
+    Printf.printf "counter%d: po=%s (%.2fs) to=%s (%.2fs)\n%!" bits
+      (match dpo with Some d -> string_of_int d | None -> "?") tpo
+      (match dto with Some d -> string_of_int d | None -> "?") tto)
+    [3;4;5];
+  List.iter (fun procs ->
+    let m = Families.semaphore ~procs in
+    let (dpo, tpo) = time_diameter Diameter.Nonprenex m 8 300000 in
+    let (dto, tto) = time_diameter Diameter.Prenex m 8 300000 in
+    Printf.printf "semaphore%d: po=%s (%.2fs) to=%s (%.2fs)\n%!" procs
+      (match dpo with Some d -> string_of_int d | None -> "?") tpo
+      (match dto with Some d -> string_of_int d | None -> "?") tto)
+    [2;3;4;5]

@@ -1,0 +1,24 @@
+module ST = Qbf_solver.Solver_types
+module B = Qbf_bench.Runner
+let () =
+  let rng = Qbf_gen.Rng.create 11 in
+  let try_params name params n =
+    let pot = ref 0. and tot = ref 0. and pon = ref 0 and ton = ref 0 in
+    let t = ref 0 and f = ref 0 and u = ref 0 in
+    for _ = 1 to n do
+      let fo = Qbf_gen.Fpv.generate rng params in
+      let inst = B.instance ~name:"x" fo in
+      let r = B.run_instance (B.budget 5.) inst in
+      (match r.B.po_run.B.outcome with ST.True -> incr t | ST.False -> incr f | _ -> incr u);
+      pot := !pot +. r.B.po_run.B.time;
+      tot := !tot +. (snd (List.hd r.B.to_runs)).B.time;
+      pon := !pon + r.B.po_run.B.nodes;
+      ton := !ton + (snd (List.hd r.B.to_runs)).B.nodes
+    done;
+    Printf.printf "%-16s T%d/F%d/U%d po=%.3fs(%d) to=%.3fs(%d) ratio=%.1f\n%!"
+      name !t !f !u !pot !pon !tot !ton (!tot /. (Float.max !pot 0.001))
+  in
+  List.iter (fun (env, br, cls) ->
+    try_params (Printf.sprintf "e%d b%d c%d" env br cls)
+      { Qbf_gen.Fpv.core = 5; branches = br; env; cls; lpc = 3 } 8)
+    [ (3,3,1); (4,3,1); (4,4,2); (5,4,1); (5,4,2); (6,4,1); (6,5,2); (7,4,1) ]

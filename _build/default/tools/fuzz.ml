@@ -1,0 +1,37 @@
+(* Heavy differential fuzzing: solver configs vs oracle. *)
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+
+let configs =
+  List.concat_map (fun learning ->
+    List.concat_map (fun pure_literals ->
+      List.map (fun heuristic -> { ST.default_config with learning; pure_literals; heuristic })
+        [ ST.Total_order; ST.Partial_order ])
+      [ true; false ])
+    [ true; false ]
+
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let bad = ref 0 in
+  for seed = 0 to n - 1 do
+    let rng = Qbf_gen.Rng.create seed in
+    let nvars = 1 + Qbf_gen.Rng.int rng 14 in
+    let nclauses = Qbf_gen.Rng.int rng 35 in
+    let len = 1 + Qbf_gen.Rng.int rng 4 in
+    let f =
+      if seed mod 2 = 0 then Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len ()
+      else Qbf_gen.Randqbf.prenex rng ~nvars ~levels:(1 + seed mod 5) ~nclauses ~len ~min_exists:(seed mod 3) ()
+    in
+    let expected = Eval.eval f in
+    List.iter (fun config ->
+      let r = Qbf_solver.Engine.solve ~config f in
+      let got = match r.ST.outcome with ST.True -> Some true | ST.False -> Some false | ST.Unknown -> None in
+      if got <> Some expected then begin
+        incr bad;
+        Printf.printf "MISMATCH seed=%d expected=%b got=%s learn=%b pure=%b %s\n" seed expected
+          (match got with Some b -> string_of_bool b | None -> "unknown")
+          config.ST.learning config.ST.pure_literals
+          (match config.ST.heuristic with ST.Total_order -> "TO" | _ -> "PO")
+      end) configs
+  done;
+  Printf.printf "fuzz done: %d seeds, %d mismatches\n" n !bad

@@ -1,0 +1,25 @@
+(* Per-seed timing to find hangs. *)
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  for seed = 0 to n - 1 do
+    let t0 = Sys.time () in
+    let rng = Qbf_gen.Rng.create seed in
+    let nvars = 1 + Qbf_gen.Rng.int rng 14 in
+    let nclauses = Qbf_gen.Rng.int rng 35 in
+    let len = 1 + Qbf_gen.Rng.int rng 4 in
+    let f =
+      if seed mod 2 = 0 then Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len ()
+      else Qbf_gen.Randqbf.prenex rng ~nvars ~levels:(1 + seed mod 5) ~nclauses ~len ~min_exists:(seed mod 3) ()
+    in
+    let t1 = Sys.time () in
+    let _ = Eval.eval f in
+    let t2 = Sys.time () in
+    let r = Qbf_solver.Engine.solve f in
+    ignore r;
+    let t3 = Sys.time () in
+    if t3 -. t0 > 0.2 then
+      Printf.printf "seed=%d nvars=%d ncl=%d gen=%.2f eval=%.2f solve=%.2f\n%!" seed nvars nclauses (t1-.t0) (t2-.t1) (t3-.t2)
+  done;
+  print_endline "done"

@@ -1,0 +1,18 @@
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let rng = Qbf_gen.Rng.create seed in
+  let nvars = 1 + Qbf_gen.Rng.int rng 14 in
+  let nclauses = Qbf_gen.Rng.int rng 35 in
+  let len = 1 + Qbf_gen.Rng.int rng 4 in
+  Printf.printf "seed=%d nvars=%d ncl=%d len=%d\n%!" seed nvars nclauses len;
+  let f =
+    if seed mod 2 = 0 then Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len ()
+    else Qbf_gen.Randqbf.prenex rng ~nvars ~levels:(1 + seed mod 5) ~nclauses ~len ~min_exists:(seed mod 3) ()
+  in
+  Printf.printf "gen ok\n%!";
+  Printf.printf "eval=%b\n%!" (Eval.eval f);
+  let r = Qbf_solver.Engine.solve f in
+  Printf.printf "solve=%s %s\n%!" (match r.ST.outcome with ST.True->"T"|ST.False->"F"|_->"U")
+    (Format.asprintf "%a" ST.pp_stats r.ST.stats)

@@ -1,0 +1,31 @@
+(* Find minimal prenex-contract violation. *)
+open Qbf_core
+module P = Qbf_prenex.Prenexing
+
+let () =
+  try
+    for seed = 0 to 3000 do
+      let rng = Qbf_gen.Rng.create seed in
+      let nvars = 1 + Qbf_gen.Rng.int rng 8 in
+      let nclauses = Qbf_gen.Rng.int rng 10 in
+      let f = Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len:3 () in
+      List.iter
+        (fun (name, st) ->
+          let g = P.apply st f in
+          let p = Formula.prefix f and p' = Formula.prefix g in
+          let prb = Prefix.is_prenex p' in
+          let ext = P.extends p p' in
+          let lvl = Prefix.prefix_level p' <= Prefix.prefix_level p + 1 in
+          let ev = Eval.eval f = Eval.eval g in
+          if not (prb && ext && lvl && ev) then begin
+            Printf.printf
+              "seed=%d nvars=%d %s prenex=%b ext=%b lvl=%b(%d->%d) ev=%b\n"
+              seed nvars name prb ext lvl (Prefix.prefix_level p)
+              (Prefix.prefix_level p') ev;
+            Format.printf "orig: %a@.new: %a@." Prefix.pp p Prefix.pp p';
+            raise Exit
+          end)
+        P.all
+    done;
+    print_endline "no violation"
+  with Exit -> ()

@@ -1,0 +1,21 @@
+(* Miniscope contract repro. *)
+open Qbf_core
+module M = Qbf_prenex.Miniscope
+let () =
+  (try
+  for seed = 0 to 5000 do
+    for levels = 1 to 4 do
+    let rng = Qbf_gen.Rng.create seed in
+    let nvars = 1 + Qbf_gen.Rng.int rng 8 in
+    let nclauses = Qbf_gen.Rng.int rng 12 in
+    let f = Qbf_gen.Randqbf.prenex rng ~nvars ~levels ~nclauses ~len:3 ~min_exists:1 () in
+    let g = M.minimize f in
+    let pc = Formula.path_consistent g in
+    let ev = Eval.eval f = Eval.eval g in
+    if not (pc && ev) then begin
+      Printf.printf "seed=%d levels=%d nvars=%d ncl=%d pc=%b ev=%b (orig=%b new=%b)\n"
+        seed levels nvars nclauses pc ev (Eval.eval f) (Eval.eval g);
+      Format.printf "orig:@.%a@.mini:@.%a@." Formula.pp f Formula.pp g;
+      raise Exit
+    end done
+  done; print_endline "no violation" with Exit -> ())

@@ -1,0 +1,33 @@
+(* Exact replica of the test's miniscope contract property. *)
+open Qbf_core
+module M = Qbf_prenex.Miniscope
+let () =
+  (try
+  for seed = 0 to 20000 do
+    let rng = Qbf_gen.Rng.create seed in
+    let nvars = 1 + Qbf_gen.Rng.int rng 11 in
+    let nclauses = Qbf_gen.Rng.int rng 20 in
+    let len = 1 + Qbf_gen.Rng.int rng 3 in
+    let levels = 1 + (seed mod 4) in
+    let rng2 = Qbf_gen.Rng.create seed in
+    ignore (Qbf_gen.Rng.int rng2 1);
+    let f = Qbf_gen.Randqbf.prenex rng ~nvars ~levels ~nclauses ~len ~min_exists:1 () in
+    let g = M.minimize f in
+    let p = Formula.prefix f and p' = Formula.prefix g in
+    let bad = ref "" in
+    if not (Formula.path_consistent g) then bad := "pc";
+    if Eval.eval f <> Eval.eval g then bad := "value";
+    for a = 0 to nvars - 1 do
+      for b = 0 to nvars - 1 do
+        if (not (Quant.equal (Prefix.quant p' a) (Prefix.quant p' b)))
+           && Quant.equal (Prefix.quant p a) (Prefix.quant p' a)
+           && Quant.equal (Prefix.quant p b) (Prefix.quant p' b)
+           && Prefix.precedes p' a b && not (Prefix.precedes p a b)
+        then bad := Printf.sprintf "order %d %d" a b
+      done done;
+    if !bad <> "" then begin
+      Printf.printf "seed=%d levels=%d nvars=%d ncl=%d len=%d bad=%s\n" seed levels nvars nclauses len !bad;
+      Format.printf "orig:@.%a@.mini:@.%a@." Formula.pp f Formula.pp g;
+      raise Exit
+    end
+  done; print_endline "no violation" with Exit -> ())

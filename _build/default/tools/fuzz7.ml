@@ -1,0 +1,25 @@
+(* Differential fuzz with aux_hint enabled (virtual cover path). *)
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let bad = ref 0 in
+  for seed = 0 to n - 1 do
+    let rng = Qbf_gen.Rng.create (seed + 777) in
+    let nvars = 1 + Qbf_gen.Rng.int rng 13 in
+    let nclauses = Qbf_gen.Rng.int rng 30 in
+    let f =
+      if seed mod 2 = 0 then Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len:3 ()
+      else Qbf_gen.Randqbf.prenex rng ~nvars ~levels:(1 + seed mod 5) ~nclauses ~len:3 ()
+    in
+    let expected = Eval.eval f in
+    List.iter (fun heuristic ->
+      let config = { ST.default_config with ST.heuristic; ST.aux_hint = Some (fun _ -> true) } in
+      let r = Qbf_solver.Engine.solve ~config f in
+      let got = match r.ST.outcome with ST.True -> Some true | ST.False -> Some false | _ -> None in
+      if got <> Some expected then begin
+        incr bad;
+        Printf.printf "MISMATCH seed=%d expected=%b\n%!" seed expected
+      end) [ ST.Total_order; ST.Partial_order ]
+  done;
+  Printf.printf "aux fuzz done: %d seeds, %d mismatches\n" n !bad

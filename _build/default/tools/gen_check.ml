@@ -1,0 +1,32 @@
+module ST = Qbf_solver.Solver_types
+let () =
+  let rng = Qbf_gen.Rng.create 7 in
+  let count = 40 in
+  let run name make =
+    let t0 = Unix.gettimeofday () in
+    let tru = ref 0 and fls = ref 0 and unk = ref 0 in
+    let sum_nodes = ref 0 and max_nodes = ref 0 in
+    for _ = 1 to count do
+      let f = make () in
+      let config = { ST.default_config with ST.max_nodes = Some 500000 } in
+      let r = Qbf_solver.Engine.solve ~config f in
+      let n = ST.nodes r.ST.stats in
+      sum_nodes := !sum_nodes + n;
+      if n > !max_nodes then max_nodes := n;
+      (match r.ST.outcome with ST.True -> incr tru | ST.False -> incr fls | _ -> incr unk)
+    done;
+    Printf.printf "%-16s T=%2d F=%2d U=%2d avg_nodes=%6d max=%7d time=%.2fs\n%!"
+      name !tru !fls !unk (!sum_nodes / count) !max_nodes (Unix.gettimeofday () -. t0)
+  in
+  List.iter (fun (v, r, lpc) ->
+    run (Printf.sprintf "ncf v%d r%.1f l%d" v r lpc)
+      (fun () -> Qbf_gen.Ncf.generate_ratio rng ~dep:6 ~var:v ~ratio:r ~lpc))
+    [ (4,1.5,3); (4,2.0,3); (4,2.5,3); (4,2.0,4); (8,2.0,3); (8,2.5,4); (16,2.0,3); (16,2.5,4) ];
+  List.iter (fun (br, cls) ->
+    run (Printf.sprintf "fpv b%d c%d" br cls)
+      (fun () -> Qbf_gen.Fpv.generate rng { Qbf_gen.Fpv.default with Qbf_gen.Fpv.branches = br; cls }))
+    [ (4,6); (6,7); (8,7); (10,8) ];
+  List.iter (fun (l, w, ep) ->
+    run (Printf.sprintf "game l%d w%d p%.2f" l w ep)
+      (fun () -> Qbf_gen.Fixed.game rng ~layers:l ~width:w ~edge_prob:ep))
+    [ (6,4,0.85); (8,5,0.85); (10,6,0.88) ]

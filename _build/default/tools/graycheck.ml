@@ -1,0 +1,7 @@
+let () =
+  List.iter (fun name ->
+    let m = Qbf_models.Families.by_name name in
+    Printf.printf "%s: bfs=%d reach=%d qbf=%s\n%!" name
+      (Qbf_models.Reach.diameter m) (Qbf_models.Reach.num_reachable m)
+      (match Qbf_models.Diameter.compute m with Some d -> string_of_int d | None -> "?"))
+    ["shift3"; "shift4"; "shift5"]

@@ -1,0 +1,30 @@
+open Qbf_core
+module ST = Qbf_solver.Solver_types
+let () =
+  let m = Qbf_models.Families.counter ~bits:2 in
+  let f = Qbf_models.Diameter.phi m ~n:1 in
+  let txt = Qbf_io.Nqdimacs.to_string f in
+  let f2 = Qbf_io.Nqdimacs.parse_string txt in
+  Printf.printf "orig:   vars=%d cls=%d value(direct)=%s\n"
+    (Formula.nvars f) (Formula.num_clauses f)
+    (match (Qbf_solver.Engine.solve f).ST.outcome with ST.True->"T"|ST.False->"F"|_->"U");
+  Printf.printf "parsed: vars=%d cls=%d value=%s\n"
+    (Formula.nvars f2) (Formula.num_clauses f2)
+    (match (Qbf_solver.Engine.solve f2).ST.outcome with ST.True->"T"|ST.False->"F"|_->"U");
+  (* compare prefixes *)
+  let p = Formula.prefix f and p2 = Formula.prefix f2 in
+  let diff = ref 0 in
+  for a = 0 to Formula.nvars f - 1 do
+    if not (Quant.equal (Prefix.quant p a) (Prefix.quant p2 a)) then incr diff;
+    for b = 0 to Formula.nvars f - 1 do
+      if Prefix.precedes p a b <> Prefix.precedes p2 a b then begin
+        if !diff < 5 then
+          Printf.printf "order differs: %d %d (orig=%b parsed=%b)\n" (a+1) (b+1)
+            (Prefix.precedes p a b) (Prefix.precedes p2 a b);
+        incr diff
+      end
+    done
+  done;
+  Printf.printf "diffs=%d\n" !diff;
+  Format.printf "orig prefix: %a@." Prefix.pp p;
+  Format.printf "parsed prefix: %a@." Prefix.pp p2

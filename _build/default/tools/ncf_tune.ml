@@ -1,0 +1,32 @@
+module ST = Qbf_solver.Solver_types
+module B = Qbf_bench.Runner
+module P = Qbf_prenex.Prenexing
+let () =
+  let rng = Qbf_gen.Rng.create 5 in
+  let try_setting var ratio lpc n =
+    let po_t = ref 0. and to_t = ref 0. and po_n = ref 0 and to_n = ref 0 in
+    let t = ref 0 and f = ref 0 and u = ref 0 and po_to = ref 0 and to_po = ref 0 in
+    for _ = 1 to n do
+      let fo = Qbf_gen.Ncf.generate_ratio rng ~dep:6 ~var ~ratio ~lpc in
+      let inst = B.instance ~strategies:P.all ~name:"x" fo in
+      let r = B.run_instance (B.budget 3.) inst in
+      (match r.B.po_run.B.outcome with ST.True -> incr t | ST.False -> incr f | _ -> incr u);
+      po_t := !po_t +. r.B.po_run.B.time;
+      po_n := !po_n + r.B.po_run.B.nodes;
+      (* best TO across 4 strategies *)
+      let best = List.fold_left (fun acc (_, x) -> if x.B.time < acc.B.time then x else acc)
+        (snd (List.hd r.B.to_runs)) r.B.to_runs in
+      to_t := !to_t +. best.B.time;
+      to_n := !to_n + best.B.nodes;
+      if best.B.time > r.B.po_run.B.time *. 2. +. 0.02 then incr po_to;
+      if r.B.po_run.B.time > best.B.time *. 2. +. 0.02 then incr to_po
+    done;
+    Printf.printf "v%-2d r%.1f l%d: T%d/F%d/U%d po=%.2fs(%dk) to*=%.2fs(%dk) PO-wins=%d TO-wins=%d\n%!"
+      var ratio lpc !t !f !u !po_t (!po_n/1000) !to_t (!to_n/1000) !po_to !to_po
+  in
+  try_setting 8 2.5 4 10;
+  try_setting 8 2.2 4 10;
+  try_setting 8 2.8 4 10;
+  try_setting 4 2.0 4 10;
+  try_setting 16 2.2 4 6;
+  try_setting 8 2.5 5 6

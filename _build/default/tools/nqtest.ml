@@ -1,0 +1,10 @@
+let t s = match Qbf_io.Nqdimacs.parse_string s with
+  | _ -> Printf.printf "PARSED OK: %S\n" s
+  | exception Qbf_io.Nqdimacs.Parse_error m -> Printf.printf "error(%s): %S\n" m s
+  | exception e -> Printf.printf "OTHER %s: %S\n" (Printexc.to_string e) s
+let () =
+  t "p ncnf 2 1\nt (e 1 (a 2)\n1 2 0\n";
+  t "p ncnf 2 1\nt (x 1 2)\n1 0\n";
+  t "p ncnf 2 1\nt (e 1 5)\n1 0\n";
+  t "p ncnf 2 1\nt (e 1 2)\n1 2\n";
+  t "p cnf 2 1\ne 1 0\n1 0\n"
