@@ -24,14 +24,21 @@ let run model_name style max_n timeout bfs verbose =
         Printf.eprintf "unknown style %S (use po or to)\n" other;
         exit 2
   in
-  let deadline = Unix.gettimeofday () +. timeout in
+  (* Amortized deadline plus a SIGINT/SIGTERM flag: interrupting a long
+     iteration reports "not determined within budget" instead of dying. *)
+  let deadline = Qbf_run.Limits.Deadline.after timeout in
+  let interrupt = Qbf_run.Limits.Interrupt.create () in
+  let _restore = Qbf_run.Limits.Interrupt.install interrupt in
   let config =
     {
       ST.default_config with
       ST.heuristic =
         (if style = Qbf_models.Diameter.Nonprenex then ST.Partial_order
          else ST.Total_order);
-      ST.should_stop = Some (fun () -> Unix.gettimeofday () > deadline);
+      ST.should_stop =
+        Some (fun () -> Qbf_run.Limits.Deadline.expired deadline);
+      ST.stop_flag = Some (Qbf_run.Limits.Interrupt.flag interrupt);
+      ST.stop_interval = 64;
     }
   in
   let t0 = Unix.gettimeofday () in

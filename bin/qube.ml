@@ -2,36 +2,30 @@
 
    Reads QDIMACS (prenex) or NQDIMACS (non-prenex; see Qbf_io.Nqdimacs)
    and decides the formula with the search engine of the paper, in
-   total-order (QuBE(TO)-style) or partial-order (QuBE(PO)-style) mode.
+   total-order (QuBE(TO)-style) or partial-order (QuBE(PO)-style) mode,
+   through the resilient run harness (Qbf_run): structured input
+   errors, amortized wall-clock deadlines, SIGINT/SIGTERM-safe
+   interruption, an optional memory cap, and a budget-escalation
+   portfolio mode.
 
      qube FILE [--heuristic po|to] [--no-learning] [--no-pure]
-          [--prenex STRATEGY] [--miniscope] [--preprocess] [--max-nodes N] [--stats]
+          [--prenex STRATEGY] [--miniscope] [--preprocess] [--max-nodes N]
+          [--timeout S] [--mem-limit MB] [--portfolio] [--json-status]
+          [--stats]
 
-   Exit code: 10 if true, 20 if false, 30 if unknown (budget), following
-   SAT-solver conventions. *)
+   Exit code: 10 if true, 20 if false, 30 if unknown (budget, signal, or
+   memory cap), 2 on unreadable/malformed input, following SAT-solver
+   conventions.  An interrupted or timed-out solve still prints
+   `s cnf ?` plus the partial statistics gathered so far. *)
 
 open Cmdliner
 module ST = Qbf_solver.Solver_types
+module Run = Qbf_run.Run
+module Limits = Qbf_run.Limits
 
-let read_formula path =
-  let looks_nq =
-    try
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let rec scan () =
-            let line = input_line ic in
-            let t = String.trim line in
-            if t = "" || (t <> "" && t.[0] = 'c') then scan ()
-            else t
-          in
-          let header = scan () in
-          String.length header >= 6 && String.sub header 0 6 = "p ncnf")
-    with End_of_file | Sys_error _ -> false
-  in
-  if looks_nq then Qbf_io.Nqdimacs.parse_file path
-  else Qbf_io.Qdimacs.parse_file path
+let input_error e =
+  Printf.eprintf "qube: %s\n" (Qbf_run.Run_error.to_string e);
+  exit (Qbf_run.Run_error.exit_code e)
 
 let strategy_of_name name =
   match List.assoc_opt name Qbf_prenex.Prenexing.all with
@@ -41,9 +35,55 @@ let strategy_of_name name =
         (String.concat ", " (List.map fst Qbf_prenex.Prenexing.all));
       exit 2
 
+let outcome_char = function
+  | ST.True -> "1"
+  | ST.False -> "0"
+  | ST.Unknown -> "?"
+
+let outcome_word = function
+  | ST.True -> "true"
+  | ST.False -> "false"
+  | ST.Unknown -> "unknown"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_report (r : Run.report) =
+  Printf.sprintf
+    "{\"outcome\":\"%s\",\"time\":%.3f,\"stopped\":%s,\"decisions\":%d,\
+     \"propagations\":%d,\"conflicts\":%d,\"solutions\":%d,\"backjumps\":%d,\
+     \"restarts\":%d}"
+    (outcome_word r.Run.outcome)
+    r.Run.time
+    (match r.Run.stopped with
+    | None -> "null"
+    | Some s -> Printf.sprintf "\"%s\"" (Run.string_of_stop_reason s))
+    r.Run.stats.ST.decisions r.Run.stats.ST.propagations
+    r.Run.stats.ST.conflicts r.Run.stats.ST.solutions
+    r.Run.stats.ST.backjumps r.Run.stats.ST.restarts_done
+
+let print_report_comments (r : Run.report) =
+  Printf.printf "c time %.3fs\n" r.Run.time;
+  (match r.Run.stopped with
+  | Some reason ->
+      Printf.printf "c stopped-by %s\n" (Run.string_of_stop_reason reason)
+  | None -> ());
+  Printf.printf "c %s\n" (Format.asprintf "%a" ST.pp_stats r.Run.stats)
+
 let run file heuristic no_learning no_pure restarts prenex_to miniscope
-    preprocess max_nodes timeout stats =
-  let f = read_formula file in
+    preprocess max_nodes timeout mem_limit use_portfolio json_status stats =
+  let f = match Run.load file with Ok f -> f | Error e -> input_error e in
   let f =
     if preprocess then Qbf_prenex.Preprocess.simplify_formula f else f
   in
@@ -52,9 +92,6 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
     match prenex_to with
     | None -> f
     | Some name -> Qbf_prenex.Prenexing.apply (strategy_of_name name) f
-  in
-  let deadline =
-    Option.map (fun s -> Unix.gettimeofday () +. s) timeout
   in
   let config =
     {
@@ -71,32 +108,80 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
       ST.restarts;
       ST.db_reduction = restarts;
       ST.max_nodes;
-      ST.should_stop =
-        Option.map (fun d () -> Unix.gettimeofday () > d) deadline;
     }
   in
-  let t0 = Unix.gettimeofday () in
-  let r = Qbf_solver.Engine.solve ~config f in
-  let dt = Unix.gettimeofday () -. t0 in
-  Printf.printf "s cnf %s %s\n"
-    (match r.ST.outcome with
-    | ST.True -> "1"
-    | ST.False -> "0"
-    | ST.Unknown -> "?")
-    file;
-  if stats then begin
-    Printf.printf "c time %.3fs\n" dt;
-    Printf.printf "c vars %d clauses %d prefix-level %d prenex %b\n"
-      (Qbf_core.Formula.nvars f)
-      (Qbf_core.Formula.num_clauses f)
-      (Qbf_core.Prefix.prefix_level (Qbf_core.Formula.prefix f))
-      (Qbf_core.Prefix.is_prenex (Qbf_core.Formula.prefix f));
-    Printf.printf "c %s\n" (Format.asprintf "%a" ST.pp_stats r.ST.stats)
+  let limits =
+    Limits.make ?timeout_s:timeout ?mem_mb:mem_limit ~poll_interval:64 ()
+  in
+  (* SIGINT/SIGTERM flip a flag the engine polls: the search returns
+     Unknown with its partial statistics and we report normally instead
+     of dying silently mid-solve. *)
+  let interrupt = Limits.Interrupt.create () in
+  let restore = Limits.Interrupt.install interrupt in
+  let report, attempts =
+    if use_portfolio then begin
+      let base =
+        match timeout with Some t -> Float.max (t /. 7.) 0.01 | None -> 0.5
+      in
+      let p = Run.portfolio ~limits ~interrupt (Run.escalating ~base ~config ()) f in
+      match List.rev p.Run.attempts with
+      | [] ->
+          (* no attempt ran (interrupted before the first one) *)
+          ( {
+              Run.outcome = ST.Unknown;
+              time = p.Run.total_time;
+              stats = ST.empty_stats ();
+              stopped = Some (Run.Interrupted Limits.Interrupt.Manual);
+            },
+            [] )
+      | (_, last) :: _ -> (last, p.Run.attempts)
+    end
+    else (Run.solve ~limits ~interrupt ~config f, [])
+  in
+  restore ();
+  Printf.printf "s cnf %s %s\n" (outcome_char report.Run.outcome) file;
+  List.iteri
+    (fun i (label, (r : Run.report)) ->
+      Printf.printf "c attempt %d %s outcome=%s time=%.3fs nodes=%d%s\n"
+        (i + 1) label (outcome_word r.Run.outcome) r.Run.time
+        (ST.nodes r.Run.stats)
+        (match r.Run.stopped with
+        | Some s -> " stopped-by=" ^ Run.string_of_stop_reason s
+        | None -> ""))
+    attempts;
+  (* Partial statistics are the whole point of a graceful stop: always
+     print them when the run was cut short, even without --stats. *)
+  if stats || report.Run.outcome = ST.Unknown then begin
+    print_report_comments report;
+    if stats then
+      Printf.printf "c vars %d clauses %d prefix-level %d prenex %b\n"
+        (Qbf_core.Formula.nvars f)
+        (Qbf_core.Formula.num_clauses f)
+        (Qbf_core.Prefix.prefix_level (Qbf_core.Formula.prefix f))
+        (Qbf_core.Prefix.is_prenex (Qbf_core.Formula.prefix f))
   end;
-  exit (match r.ST.outcome with ST.True -> 10 | ST.False -> 20 | _ -> 30)
+  if json_status then begin
+    let attempts_json =
+      if attempts = [] then ""
+      else
+        Printf.sprintf ",\"attempts\":[%s]"
+          (String.concat ","
+             (List.map
+                (fun (label, r) ->
+                  Printf.sprintf "{\"label\":\"%s\",\"report\":%s}"
+                    (json_escape label) (json_of_report r))
+                attempts))
+    in
+    Printf.printf "{\"file\":\"%s\",\"outcome\":\"%s\",\"time\":%.3f%s}\n"
+      (json_escape file)
+      (outcome_word report.Run.outcome)
+      report.Run.time attempts_json
+  end;
+  exit
+    (match report.Run.outcome with ST.True -> 10 | ST.False -> 20 | _ -> 30)
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
     ~doc:"Input formula (QDIMACS or NQDIMACS).")
 
 let heuristic_arg =
@@ -140,16 +225,43 @@ let timeout_arg =
   Arg.(value & opt (some float) None
     & info [ "timeout" ] ~docv:"S" ~doc:"Wall-clock budget in seconds.")
 
+let mem_limit_arg =
+  Arg.(value & opt (some int) None
+    & info [ "mem-limit" ] ~docv:"MB"
+        ~doc:"Stop (outcome unknown) when the major heap exceeds MB \
+              mebibytes; checked from a GC alarm, so it costs nothing \
+              on the search path.")
+
+let portfolio_arg =
+  Arg.(value & flag
+    & info [ "portfolio" ]
+        ~doc:"Budget-escalation portfolio: PO with learning on a short \
+              budget, then TO with restarts at twice the budget, then \
+              PO with restarts for the remaining time.  Prints one \
+              $(b,c attempt) line per attempt.")
+
+let json_status_arg =
+  Arg.(value & flag
+    & info [ "json-status" ]
+        ~doc:"Print a one-line JSON status record (outcome, time, \
+              statistics, per-attempt reports) after the result line.")
+
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
 
 let cmd =
   let doc = "search-based QBF solver with non-prenex (quantifier tree) support" in
   Cmd.v
-    (Cmd.info "qube" ~doc)
+    (Cmd.info "qube" ~doc ~exits:
+       [ Cmd.Exit.info 10 ~doc:"the formula is true";
+         Cmd.Exit.info 20 ~doc:"the formula is false";
+         Cmd.Exit.info 30 ~doc:"unknown: budget exhausted, interrupted, \
+                                or memory cap reached";
+         Cmd.Exit.info 2 ~doc:"unreadable or malformed input" ])
     Term.(
       const run $ file_arg $ heuristic_arg $ no_learning_arg $ no_pure_arg
       $ restarts_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
-      $ max_nodes_arg $ timeout_arg $ stats_arg)
+      $ max_nodes_arg $ timeout_arg $ mem_limit_arg $ portfolio_arg
+      $ json_status_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -40,7 +40,6 @@ let run ~timeout_s ~model ~n =
           Some (fun x -> x >= lay.Qbf_models.Diameter.first_aux)
         else None
       in
-      let deadline = Unix.gettimeofday () +. timeout_s in
       let config =
         {
           ST.default_config with
@@ -49,16 +48,15 @@ let run ~timeout_s ~model ~n =
           ST.aux_hint = aux;
           ST.restarts = v.restarts;
           ST.db_reduction = v.restarts;
-          ST.should_stop = Some (fun () -> Unix.gettimeofday () > deadline);
         }
       in
-      let t0 = Unix.gettimeofday () in
-      let r = Qbf_solver.Engine.solve ~config lay.Qbf_models.Diameter.formula in
+      let limits = Qbf_run.Limits.make ~timeout_s ~poll_interval:64 () in
+      let r = Qbf_run.Run.solve ~limits ~config lay.Qbf_models.Diameter.formula in
       ( v.vname,
         {
-          time = Unix.gettimeofday () -. t0;
-          nodes = ST.nodes r.ST.stats;
-          solved = r.ST.outcome <> ST.Unknown;
+          time = r.Qbf_run.Run.time;
+          nodes = ST.nodes r.Qbf_run.Run.stats;
+          solved = r.Qbf_run.Run.outcome <> ST.Unknown;
         } ))
     variants
 

@@ -1,7 +1,13 @@
-(* Budgeted solver runs for the experiment harness. *)
+(* Budgeted solver runs for the experiment harness, on top of the
+   resilient run layer (Qbf_run): amortized wall-clock deadlines instead
+   of a per-check [Unix.gettimeofday], and an optional shared interrupt
+   so one Ctrl-C (or one pathological instance tripping a memory guard)
+   ends a whole suite gracefully instead of wedging it. *)
 
 open Qbf_core
 module ST = Qbf_solver.Solver_types
+module Run = Qbf_run.Run
+module Limits = Qbf_run.Limits
 
 type budget = {
   timeout_s : float; (* wall-clock limit per run *)
@@ -15,30 +21,28 @@ type run = {
   time : float; (* seconds *)
   nodes : int; (* conflict + solution leaves *)
   stats : ST.stats;
+  stopped : Run.stop_reason option; (* why an Unknown run ended *)
 }
 
 let timed_out r = r.outcome = ST.Unknown
 
 (* Solve under [budget] with the given heuristic; [aux] optionally marks
-   CNF-conversion variables (see Qbf_solver.Solver_types.config). *)
-let solve ?aux ~heuristic b formula =
-  let deadline = Unix.gettimeofday () +. b.timeout_s in
-  let config =
-    {
-      ST.default_config with
-      ST.heuristic;
-      ST.max_nodes = b.max_nodes;
-      ST.should_stop = Some (fun () -> Unix.gettimeofday () > deadline);
-      ST.aux_hint = aux;
-    }
+   CNF-conversion variables (see Qbf_solver.Solver_types.config);
+   [interrupt] aborts this run (and, when shared, the rest of the
+   suite) as soon as the engine reaches its next budget check. *)
+let solve ?aux ?interrupt ~heuristic b formula =
+  let limits =
+    Limits.make ~timeout_s:b.timeout_s ?max_nodes:b.max_nodes
+      ~poll_interval:64 ()
   in
-  let t0 = Unix.gettimeofday () in
-  let r = Qbf_solver.Engine.solve ~config formula in
+  let config = { ST.default_config with ST.heuristic; ST.aux_hint = aux } in
+  let r = Run.solve ~limits ?interrupt ~config formula in
   {
-    outcome = r.ST.outcome;
-    time = Unix.gettimeofday () -. t0;
-    nodes = ST.nodes r.ST.stats;
-    stats = r.ST.stats;
+    outcome = r.Run.outcome;
+    time = r.Run.time;
+    nodes = ST.nodes r.Run.stats;
+    stats = r.Run.stats;
+    stopped = r.Run.stopped;
   }
 
 (* A benchmark instance: the non-prenex original for QuBE(PO) plus one
@@ -66,13 +70,13 @@ type result = {
   to_runs : (string * run) list;
 }
 
-let run_instance b inst =
+let run_instance ?interrupt b inst =
   {
     inst = inst.name;
-    po_run = solve ?aux:inst.aux ~heuristic:ST.Partial_order b inst.po;
+    po_run = solve ?aux:inst.aux ?interrupt ~heuristic:ST.Partial_order b inst.po;
     to_runs =
       List.map
         (fun (sn, f) ->
-          (sn, solve ?aux:inst.aux ~heuristic:ST.Total_order b f))
+          (sn, solve ?aux:inst.aux ?interrupt ~heuristic:ST.Total_order b f))
         inst.tos;
   }

@@ -10,97 +10,134 @@
    (possibly spanning several lines, up to the first clause): each tree is
    `(e|a v1 v2 ... subtree ...)` with 1-based variables.  Unbound
    variables are implicitly outermost existentials, as in the paper.
-   Clauses are DIMACS-style, 0-terminated. *)
+   Clauses are DIMACS-style, 0-terminated.
+
+   Failures carry a 1-based line/column position; [parse_*] raise the
+   legacy [Parse_error] string exception, the [*_res] variants return a
+   positioned [error] for the run harness (Qbf_run). *)
 
 open Qbf_core
 
+type error = { line : int; col : int; msg : string }
+
 exception Parse_error of string
+exception Parse_error_at of error
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+let string_of_error (e : error) =
+  if e.line > 0 then Printf.sprintf "line %d, column %d: %s" e.line e.col e.msg
+  else e.msg
 
-type sexp = Atom of string | List of sexp list
+let fail_at ~line ~col fmt =
+  Format.kasprintf
+    (fun msg -> raise (Parse_error_at { line; col; msg }))
+    fmt
 
-let tokenize s =
+type pos = { pline : int; pcol : int }
+
+type sexp = Atom of string * pos | List of sexp list * pos
+
+(* Tokenize the tree text: parens and atoms, each with its position.
+   [chunks] is a list of (lineno, start_col, text). *)
+let tokenize chunks =
   let toks = ref [] in
-  let buf = Buffer.create 16 in
-  let flush () =
-    if Buffer.length buf > 0 then (
-      toks := `Atom (Buffer.contents buf) :: !toks;
-      Buffer.clear buf)
-  in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '(' ->
-          flush ();
-          toks := `Open :: !toks
-      | ')' ->
-          flush ();
-          toks := `Close :: !toks
-      | ' ' | '\t' | '\n' | '\r' -> flush ()
-      | c -> Buffer.add_char buf c)
-    s;
-  flush ();
+  List.iter
+    (fun (lineno, col0, s) ->
+      let buf = Buffer.create 16 in
+      let start = ref 0 in
+      let flush i =
+        if Buffer.length buf > 0 then (
+          toks :=
+            `Atom
+              (Buffer.contents buf, { pline = lineno; pcol = col0 + !start })
+            :: !toks;
+          Buffer.clear buf);
+        ignore i
+      in
+      String.iteri
+        (fun i ch ->
+          match ch with
+          | '(' ->
+              flush i;
+              toks := `Open { pline = lineno; pcol = col0 + i } :: !toks
+          | ')' ->
+              flush i;
+              toks := `Close { pline = lineno; pcol = col0 + i } :: !toks
+          | ' ' | '\t' | '\n' | '\r' -> flush i
+          | c ->
+              if Buffer.length buf = 0 then start := i;
+              Buffer.add_char buf c)
+        s;
+      flush (String.length s))
+    chunks;
   List.rev !toks
 
-let parse_sexps toks =
+let parse_sexps ~eof toks =
   let rec items acc = function
-    | `Close :: rest -> (List.rev acc, rest)
-    | `Open :: rest ->
+    | `Close _ :: rest -> (List.rev acc, rest)
+    | `Open p :: rest ->
         let inner, rest = items [] rest in
-        items (List inner :: acc) rest
-    | `Atom a :: rest -> items (Atom a :: acc) rest
-    | [] -> fail "unbalanced '(' in quantifier tree"
+        items (List (inner, p) :: acc) rest
+    | `Atom (a, p) :: rest -> items (Atom (a, p) :: acc) rest
+    | [] ->
+        fail_at ~line:eof.pline ~col:eof.pcol
+          "unbalanced '(' in quantifier tree"
   in
   let rec top acc = function
     | [] -> List.rev acc
-    | `Open :: rest ->
+    | `Open p :: rest ->
         let inner, rest = items [] rest in
-        top (List inner :: acc) rest
-    | `Atom a :: rest -> top (Atom a :: acc) rest
-    | `Close :: _ -> fail "unbalanced ')' in quantifier tree"
+        top (List (inner, p) :: acc) rest
+    | `Atom (a, p) :: rest -> top (Atom (a, p) :: acc) rest
+    | `Close p :: _ ->
+        fail_at ~line:p.pline ~col:p.pcol "unbalanced ')' in quantifier tree"
   in
   top [] toks
 
 let rec tree_of_sexp nvars = function
-  | List (Atom q :: rest) ->
+  | List (Atom (q, qp) :: rest, _) ->
       let quant =
         match q with
         | "e" -> Quant.Exists
         | "a" -> Quant.Forall
-        | _ -> fail "unknown quantifier %S" q
+        | _ -> fail_at ~line:qp.pline ~col:qp.pcol "unknown quantifier %S" q
       in
       let vars, children =
         List.fold_left
           (fun (vars, children) item ->
             match item with
-            | Atom a -> (
+            | Atom (a, p) -> (
                 match int_of_string_opt a with
                 | Some n when n >= 1 && n <= nvars ->
                     ((n - 1) :: vars, children)
-                | Some n -> fail "variable %d out of range" n
-                | None -> fail "unexpected atom %S in tree" a)
-            | List _ as sub ->
-                (vars, tree_of_sexp nvars sub :: children))
+                | Some n ->
+                    fail_at ~line:p.pline ~col:p.pcol
+                      "variable %d out of range" n
+                | None ->
+                    fail_at ~line:p.pline ~col:p.pcol
+                      "unexpected atom %S in tree" a)
+            | List _ as sub -> (vars, tree_of_sexp nvars sub :: children))
           ([], []) rest
       in
       Prefix.node quant (List.rev vars) (List.rev children)
-  | List [] -> fail "empty tree node"
-  | List (List _ :: _) -> fail "tree node must start with a quantifier"
-  | Atom a -> fail "expected a tree, got atom %S" a
+  | List ([], p) -> fail_at ~line:p.pline ~col:p.pcol "empty tree node"
+  | List (List (_, _) :: _, p) ->
+      fail_at ~line:p.pline ~col:p.pcol
+        "tree node must start with a quantifier"
+  | Atom (a, p) ->
+      fail_at ~line:p.pline ~col:p.pcol "expected a tree, got atom %S" a
 
-let parse_string s =
+let parse_string_exn s =
   let lines = String.split_on_char '\n' s in
+  (* Keep original line numbers alongside the non-comment lines. *)
   let lines =
-    List.filter
-      (fun l ->
-        let l = String.trim l in
-        l <> "" && l.[0] <> 'c')
-      lines
+    List.mapi (fun i l -> (i + 1, l)) lines
+    |> List.filter (fun (_, l) ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> 'c')
   in
   match lines with
-  | [] -> fail "empty input"
-  | header :: rest -> (
+  | [] -> fail_at ~line:1 ~col:1 "empty input"
+  | (hline, header) :: rest -> (
       match
         String.split_on_char ' ' (String.trim header)
         |> List.filter (fun w -> w <> "")
@@ -109,63 +146,115 @@ let parse_string s =
           let nvars =
             match int_of_string_opt nv with
             | Some n when n >= 0 -> n
-            | _ -> fail "bad variable count %S" nv
+            | _ -> fail_at ~line:hline ~col:1 "bad variable count %S" nv
           in
           (* Everything from the `t` marker up to the first clause line is
              tree text; clause lines start with an integer. *)
           let rec split_tree acc = function
             | [] -> (List.rev acc, [])
-            | line :: rest ->
+            | (lineno, line) :: rest ->
                 let w = String.trim line in
                 if String.length w > 0 && (w.[0] = 't' || w.[0] = '(') then
-                  let body =
-                    if w.[0] = 't' then String.sub w 1 (String.length w - 1)
-                    else w
+                  let lead =
+                    (* column of the first char of the trimmed text *)
+                    let rec first i =
+                      if i < String.length line && (line.[i] = ' ' || line.[i] = '\t')
+                      then first (i + 1)
+                      else i
+                    in
+                    first 0
                   in
-                  split_tree (body :: acc) rest
-                else (List.rev acc, line :: rest)
+                  let body, col0 =
+                    if w.[0] = 't' then
+                      (String.sub w 1 (String.length w - 1), lead + 2)
+                    else (w, lead + 1)
+                  in
+                  split_tree ((lineno, col0, body) :: acc) rest
+                else (List.rev acc, (lineno, line) :: rest)
           in
           let tree_lines, clause_lines = split_tree [] rest in
-          let sexps = parse_sexps (tokenize (String.concat " " tree_lines)) in
+          let eof =
+            match List.rev tree_lines with
+            | (l, c, _) :: _ -> { pline = l; pcol = c }
+            | [] -> { pline = hline; pcol = 1 }
+          in
+          let sexps = parse_sexps ~eof (tokenize tree_lines) in
           let forest = List.map (tree_of_sexp nvars) sexps in
           let prefix = Prefix.of_forest ~nvars forest in
+          let last_line = ref hline in
           let ints =
             List.concat_map
-              (fun line ->
-                String.split_on_char ' ' (String.trim line)
+              (fun (lineno, line) ->
+                last_line := lineno;
+                let col = ref 0 in
+                String.split_on_char ' ' line
                 |> List.filter_map (fun w ->
+                       let c0 = !col + 1 in
+                       col := !col + String.length w + 1;
+                       let w = String.trim w in
                        if w = "" then None
                        else
                          match int_of_string_opt w with
-                         | Some n -> Some n
-                         | None -> fail "unexpected token %S in matrix" w))
+                         | Some n -> Some (n, lineno, c0)
+                         | None ->
+                             fail_at ~line:lineno ~col:c0
+                               "unexpected token %S in matrix" w))
               clause_lines
           in
           let rec clauses acc cur = function
-            | 0 :: rest ->
+            | (0, _, _) :: rest ->
                 clauses (Clause.of_dimacs_list (List.rev cur) :: acc) [] rest
-            | n :: rest ->
-                if abs n > nvars then fail "literal %d out of range" n;
+            | (n, lineno, c0) :: rest ->
+                if abs n > nvars then
+                  fail_at ~line:lineno ~col:c0 "literal %d out of range" n;
                 clauses acc (n :: cur) rest
             | [] ->
-                if cur <> [] then fail "unterminated clause";
+                if cur <> [] then
+                  fail_at ~line:!last_line ~col:1 "unterminated clause";
                 List.rev acc
           in
           Formula.make prefix (clauses [] [] ints)
-      | _ -> fail "expected 'p ncnf <nvars> <nclauses>' header")
+      | _ ->
+          fail_at ~line:hline ~col:1
+            "expected 'p ncnf <nvars> <nclauses>' header")
 
-let parse_channel ic =
+let parse_string_res s =
+  match parse_string_exn s with
+  | f -> Ok f
+  | exception Parse_error_at e -> Error e
+  | exception Prefix.Ill_formed msg -> Error { line = 0; col = 0; msg }
+
+let parse_string s =
+  match parse_string_res s with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (string_of_error e))
+
+let read_all ic =
   let buf = Buffer.create 4096 in
   (try
      while true do
        Buffer.add_channel buf ic 4096
      done
    with End_of_file -> ());
-  parse_string (Buffer.contents buf)
+  Buffer.contents buf
+
+let parse_channel_res ic = parse_string_res (read_all ic)
+
+let parse_channel ic =
+  match parse_channel_res ic with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (string_of_error e))
+
+let parse_file_res path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_channel_res ic)
 
 let parse_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
+  match parse_file_res path with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (string_of_error e))
 
 let rec print_tree fmt (Prefix.Node (q, vars, children)) =
   Format.fprintf fmt "(%s" (Quant.symbol q);

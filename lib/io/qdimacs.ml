@@ -6,58 +6,115 @@
      e 1 2 0          quantifier lines, outermost first
      a 3 0
      ...
-     1 -3 0           clauses, 0-terminated, may span lines
+     1 -3 4 0         clauses, 0-terminated, may span lines
 
    Variables are 1-based externally and mapped to the dense 0-based
-   variables of {!Qbf_core.Lit}. *)
+   variables of {!Qbf_core.Lit}.
+
+   Failures carry a 1-based line/column position; [parse_*] raise the
+   legacy [Parse_error] string exception, the [*_res] variants return a
+   positioned [error] for the run harness (Qbf_run). *)
 
 open Qbf_core
 
-exception Parse_error of string
+type error = { line : int; col : int; msg : string }
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of string
+exception Parse_error_at of error
+
+let string_of_error e =
+  if e.line > 0 then Printf.sprintf "line %d, column %d: %s" e.line e.col e.msg
+  else e.msg
+
+let fail_at ~line ~col fmt =
+  Format.kasprintf
+    (fun msg -> raise (Parse_error_at { line; col; msg }))
+    fmt
 
 type token = Word of string | Num of int
 
+type ptoken = { tok : token; tline : int; tcol : int }
+
+(* Comment lines are dropped whole; everything else is split on
+   whitespace, each token remembering its 1-based line/column. *)
 let tokenize_lines lines =
-  (* Comment lines are dropped whole; everything else is split on
-     whitespace. *)
   let toks = ref [] in
-  List.iter
-    (fun line ->
-      let line = String.trim line in
-      if line = "" || (String.length line > 0 && line.[0] = 'c') then ()
-      else
-        String.split_on_char ' ' line
-        |> List.concat_map (String.split_on_char '\t')
-        |> List.iter (fun w ->
-               if w <> "" then
-                 match int_of_string_opt w with
-                 | Some n -> toks := Num n :: !toks
-                 | None -> toks := Word w :: !toks))
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let t = String.trim line in
+      if t = "" || t.[0] = 'c' then ()
+      else begin
+        let n = String.length line in
+        let j = ref 0 in
+        while !j < n do
+          while
+            !j < n
+            && (match line.[!j] with ' ' | '\t' | '\r' -> true | _ -> false)
+          do
+            incr j
+          done;
+          if !j < n then begin
+            let start = !j in
+            while
+              !j < n
+              &&
+              match line.[!j] with ' ' | '\t' | '\r' -> false | _ -> true
+            do
+              incr j
+            done;
+            let w = String.sub line start (!j - start) in
+            let tok =
+              match int_of_string_opt w with Some n -> Num n | None -> Word w
+            in
+            toks := { tok; tline = lineno; tcol = start + 1 } :: !toks
+          end
+        done
+      end)
     lines;
   List.rev !toks
 
+(* Position just past the final token, for unexpected-end-of-input
+   diagnostics. *)
+let eof_pos toks =
+  match List.rev toks with
+  | [] -> (1, 1)
+  | last :: _ -> (last.tline, last.tcol)
+
 let parse_tokens toks =
+  let eline, ecol = eof_pos toks in
   let rec skip_to_header = function
-    | Word "p" :: Word "cnf" :: Num nvars :: Num nclauses :: rest ->
+    | { tok = Word "p"; tline; tcol }
+      :: { tok = Word "cnf"; _ }
+      :: { tok = Num nvars; _ }
+      :: { tok = Num nclauses; _ }
+      :: rest ->
+        if nvars < 0 then
+          fail_at ~line:tline ~col:tcol "negative variable count";
         (nvars, nclauses, rest)
-    | [] -> fail "missing 'p cnf' header"
+    | { tok = Word "p"; tline; tcol } :: _ ->
+        fail_at ~line:tline ~col:tcol
+          "malformed header (expected 'p cnf <nvars> <nclauses>')"
+    | [] -> fail_at ~line:eline ~col:ecol "missing 'p cnf' header"
     | _ :: rest -> skip_to_header rest
   in
   let nvars, _declared_clauses, rest = skip_to_header toks in
-  if nvars < 0 then fail "negative variable count";
   (* Quantifier lines: sequences introduced by 'e'/'a', 0-terminated. *)
   let rec quant_blocks acc = function
-    | Word w :: rest when w = "e" || w = "a" ->
+    | { tok = Word w; _ } :: rest when w = "e" || w = "a" ->
         let q = if w = "e" then Quant.Exists else Quant.Forall in
         let rec vars acc_vars = function
-          | Num 0 :: rest -> (List.rev acc_vars, rest)
-          | Num n :: rest when n > 0 && n <= nvars ->
+          | { tok = Num 0; _ } :: rest -> (List.rev acc_vars, rest)
+          | { tok = Num n; _ } :: rest when n > 0 && n <= nvars ->
               vars ((n - 1) :: acc_vars) rest
-          | Num n :: _ -> fail "bad variable %d in quantifier block" n
-          | Word w :: _ -> fail "unexpected word %S in quantifier block" w
-          | [] -> fail "unterminated quantifier block"
+          | { tok = Num n; tline; tcol } :: _ ->
+              fail_at ~line:tline ~col:tcol
+                "bad variable %d in quantifier block" n
+          | { tok = Word w; tline; tcol } :: _ ->
+              fail_at ~line:tline ~col:tcol
+                "unexpected word %S in quantifier block" w
+          | [] ->
+              fail_at ~line:eline ~col:ecol "unterminated quantifier block"
         in
         let vs, rest = vars [] rest in
         quant_blocks ((q, vs) :: acc) rest
@@ -66,34 +123,59 @@ let parse_tokens toks =
   let blocks, rest = quant_blocks [] rest in
   (* Clauses: 0-terminated integer runs. *)
   let rec clauses acc cur = function
-    | Num 0 :: rest -> clauses (Clause.of_dimacs_list (List.rev cur) :: acc) [] rest
-    | Num n :: rest ->
-        if abs n > nvars then fail "literal %d out of range" n;
+    | { tok = Num 0; _ } :: rest ->
+        clauses (Clause.of_dimacs_list (List.rev cur) :: acc) [] rest
+    | { tok = Num n; tline; tcol } :: rest ->
+        if abs n > nvars then
+          fail_at ~line:tline ~col:tcol "literal %d out of range" n;
         clauses acc (n :: cur) rest
-    | Word w :: _ -> fail "unexpected word %S in matrix" w
+    | { tok = Word w; tline; tcol } :: _ ->
+        fail_at ~line:tline ~col:tcol "unexpected word %S in matrix" w
     | [] ->
-        if cur <> [] then fail "unterminated clause";
+        if cur <> [] then fail_at ~line:eline ~col:ecol "unterminated clause";
         List.rev acc
   in
   let matrix = clauses [] [] rest in
   let prefix = Prefix.of_blocks ~nvars blocks in
   Formula.make prefix matrix
 
-let parse_string s =
-  parse_tokens (tokenize_lines (String.split_on_char '\n' s))
+let parse_string_res s =
+  match parse_tokens (tokenize_lines (String.split_on_char '\n' s)) with
+  | f -> Ok f
+  | exception Parse_error_at e -> Error e
+  | exception Prefix.Ill_formed msg -> Error { line = 0; col = 0; msg }
 
-let parse_channel ic =
-  let lines = ref [] in
+let parse_string s =
+  match parse_string_res s with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (string_of_error e))
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
   (try
      while true do
-       lines := input_line ic :: !lines
+       Buffer.add_channel buf ic 4096
      done
    with End_of_file -> ());
-  parse_tokens (tokenize_lines (List.rev !lines))
+  Buffer.contents buf
+
+let parse_channel_res ic = parse_string_res (read_all ic)
+
+let parse_channel ic =
+  match parse_channel_res ic with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (string_of_error e))
+
+let parse_file_res path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_channel_res ic)
 
 let parse_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
+  match parse_file_res path with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (string_of_error e))
 
 let print_blocks fmt blocks =
   List.iter

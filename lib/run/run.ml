@@ -1,0 +1,267 @@
+(* The resilient solving harness: structured loading, budgeted and
+   interruptible solves, and a budget-escalation portfolio.
+
+   A "run" never throws on bad input or exhausted budgets: loading
+   returns [(formula, Run_error.t) result], solving returns a [report]
+   whose [stopped] field says which limit (if any) ended the search, and
+   the portfolio returns the first conclusive attempt plus a per-attempt
+   trail.  Partial statistics are always preserved. *)
+
+module ST = Qbf_solver.Solver_types
+
+type format = Qdimacs | Nqdimacs
+
+(* Decide the format from the first non-comment, non-blank line: a
+   `p ncnf` header means NQDIMACS, anything else (including a missing or
+   malformed header, which the parser will then diagnose) is QDIMACS. *)
+let sniff_format text =
+  let rec scan = function
+    | [] -> Qdimacs
+    | line :: rest ->
+        let t = String.trim line in
+        if t = "" || t.[0] = 'c' then scan rest
+        else if String.length t >= 6 && String.sub t 0 6 = "p ncnf" then
+          Nqdimacs
+        else Qdimacs
+  in
+  scan (String.split_on_char '\n' text)
+
+let parse ~file ~format text =
+  match format with
+  | Qdimacs ->
+      Qbf_io.Qdimacs.parse_string_res text
+      |> Result.map_error (Run_error.of_qdimacs ~file)
+  | Nqdimacs ->
+      Qbf_io.Nqdimacs.parse_string_res text
+      |> Result.map_error (Run_error.of_nqdimacs ~file)
+
+let load_string ?(file = "<string>") ?format text =
+  let format =
+    match format with Some f -> f | None -> sniff_format text
+  in
+  parse ~file ~format text
+
+(* Read the whole file once; every failure mode (missing file,
+   directory, permission, truncated read) becomes a structured [Io]
+   error instead of an escaping exception. *)
+let load ?format path =
+  match
+    if Sys.file_exists path && Sys.is_directory path then
+      raise (Sys_error (path ^ ": is a directory"));
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> load_string ~file:path ?format text
+  | exception Sys_error msg ->
+      (* Sys_error messages already lead with the path; drop it so the
+         rendered diagnostic doesn't repeat it. *)
+      let msg =
+        let p = path ^ ": " in
+        let lp = String.length p in
+        if String.length msg > lp && String.sub msg 0 lp = p then
+          String.sub msg lp (String.length msg - lp)
+        else msg
+      in
+      Error (Run_error.Io { file = path; msg })
+  | exception End_of_file ->
+      Error (Run_error.Io { file = path; msg = "truncated read" })
+
+let load_exn ?format path =
+  match load ?format path with
+  | Ok f -> f
+  | Error e -> raise (Run_error.Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted, interruptible solving                                     *)
+
+type stop_reason =
+  | Timeout (* the wall-clock deadline expired *)
+  | Interrupted of Limits.Interrupt.reason (* signal / memory / manual *)
+  | Node_budget (* the leaf budget was hit *)
+  | Budget (* some other configured budget (decisions, custom hook) *)
+
+let string_of_stop_reason = function
+  | Timeout -> "timeout"
+  | Interrupted (Limits.Interrupt.Signal n) ->
+      if n = Sys.sigint then "sigint"
+      else if n = Sys.sigterm then "sigterm"
+      else Printf.sprintf "signal-%d" n
+  | Interrupted Limits.Interrupt.Memory -> "memory"
+  | Interrupted Limits.Interrupt.Manual -> "interrupted"
+  | Node_budget -> "node-budget"
+  | Budget -> "budget"
+
+type report = {
+  outcome : ST.outcome;
+  time : float; (* seconds, by the limits' clock *)
+  stats : ST.stats; (* complete even when stopped early *)
+  stopped : stop_reason option; (* None iff the outcome is conclusive *)
+}
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+(* Merge [limits] and [interrupt] into [config]'s budget hooks.  A
+   pre-existing [should_stop]/[stop_flag] in the config is preserved:
+   the deadline is OR-ed into the poll and the flag keeps priority. *)
+let effective_config (limits : Limits.t) interrupt deadline config =
+  let should_stop =
+    match (config.ST.should_stop, limits.Limits.timeout_s) with
+    | None, None -> None
+    | user, _ ->
+        Some
+          (fun () ->
+            Limits.Deadline.expired deadline
+            || match user with Some f -> f () | None -> false)
+  in
+  let stop_flag =
+    match config.ST.stop_flag with
+    | None -> Some (Limits.Interrupt.flag interrupt)
+    | Some _ as user -> user
+  in
+  {
+    config with
+    ST.should_stop;
+    ST.stop_flag;
+    ST.stop_interval = max 1 limits.Limits.poll_interval;
+    ST.max_nodes = min_opt config.ST.max_nodes limits.Limits.max_nodes;
+  }
+
+let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
+    formula =
+  let interrupt =
+    match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
+  in
+  let deadline =
+    match limits.Limits.timeout_s with
+    | None -> Limits.Deadline.never
+    | Some s -> Limits.Deadline.after ~clock:limits.Limits.clock s
+  in
+  let config = effective_config limits interrupt deadline config in
+  let guard =
+    Option.map
+      (fun mb -> Limits.Mem_guard.install ~limit_mb:mb interrupt)
+      limits.Limits.mem_mb
+  in
+  let t0 = limits.Limits.clock () in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Limits.Mem_guard.remove guard)
+      (fun () -> Qbf_solver.Engine.solve ~config formula)
+  in
+  let time = limits.Limits.clock () -. t0 in
+  let stopped =
+    match r.ST.outcome with
+    | ST.True | ST.False -> None
+    | ST.Unknown ->
+        if Limits.Interrupt.triggered interrupt then
+          Some
+            (Interrupted
+               (Option.value ~default:Limits.Interrupt.Manual
+                  (Limits.Interrupt.reason interrupt)))
+        else if Limits.Deadline.expired deadline then Some Timeout
+        else
+          let nodes = ST.nodes r.ST.stats in
+          let node_hit =
+            match config.ST.max_nodes with
+            | Some m -> nodes >= m
+            | None -> false
+          in
+          Some (if node_hit then Node_budget else Budget)
+  in
+  { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped }
+
+(* ------------------------------------------------------------------ *)
+(* Budget-escalation portfolio                                         *)
+
+type attempt = {
+  label : string;
+  budget_s : float option; (* per-attempt wall budget; None = only the
+                              overall limit applies *)
+  config : ST.config;
+}
+
+(* The default escalation ladder: the paper's PO solver with learning on
+   a short leash, then the TO solver with restarts and database
+   reduction at [factor] times the budget, then PO with restarts,
+   unbounded (the overall limit, if any, still applies).  Each rung
+   restarts from scratch — conflicts that wedge one heuristic rarely
+   wedge the other. *)
+let escalating ?(base = 0.5) ?(factor = 2.) ?(config = ST.default_config) ()
+    =
+  [
+    {
+      label = "po-learn";
+      budget_s = Some base;
+      config =
+        { config with ST.heuristic = ST.Partial_order; ST.learning = true };
+    };
+    {
+      label = "to-restarts";
+      budget_s = Some (base *. factor);
+      config =
+        {
+          config with
+          ST.heuristic = ST.Total_order;
+          ST.learning = true;
+          ST.restarts = true;
+          ST.db_reduction = true;
+        };
+    };
+    {
+      label = "po-restarts";
+      budget_s = None;
+      config =
+        {
+          config with
+          ST.heuristic = ST.Partial_order;
+          ST.learning = true;
+          ST.restarts = true;
+          ST.db_reduction = true;
+        };
+    };
+  ]
+
+type portfolio_report = {
+  outcome : ST.outcome; (* of the last attempt run *)
+  attempts : (string * report) list; (* in execution order *)
+  total_time : float;
+}
+
+let portfolio ?(limits = Limits.default) ?interrupt attempts formula =
+  let interrupt =
+    match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
+  in
+  let overall =
+    match limits.Limits.timeout_s with
+    | None -> Limits.Deadline.never
+    | Some s -> Limits.Deadline.after ~clock:limits.Limits.clock s
+  in
+  let t0 = limits.Limits.clock () in
+  let rec go acc = function
+    | [] -> (ST.Unknown, List.rev acc)
+    | a :: rest ->
+        if Limits.Interrupt.triggered interrupt then (ST.Unknown, List.rev acc)
+        else if Limits.Deadline.remaining overall <= 0. then
+          (ST.Unknown, List.rev acc)
+        else
+          let budget =
+            let left = Limits.Deadline.remaining overall in
+            match a.budget_s with
+            | Some b when left < infinity -> Some (Float.min b left)
+            | Some b -> Some b
+            | None when left < infinity -> Some left
+            | None -> None
+          in
+          let attempt_limits = { limits with Limits.timeout_s = budget } in
+          let r = solve ~limits:attempt_limits ~interrupt ~config:a.config formula in
+          let acc = (a.label, r) :: acc in
+          if r.outcome <> ST.Unknown then (r.outcome, List.rev acc)
+          else go acc rest
+  in
+  let outcome, attempts = go [] attempts in
+  { outcome; attempts; total_time = limits.Limits.clock () -. t0 }

@@ -1,0 +1,89 @@
+(** The resilient solving harness.
+
+    A "run" never throws on bad input or an exhausted budget: loading
+    returns [(formula, Run_error.t) result]; solving returns a {!report}
+    whose [stopped] field says which limit (if any) ended the search,
+    with full partial statistics; {!portfolio} escalates through a
+    ladder of attempts and reports each one. *)
+
+module ST = Qbf_solver.Solver_types
+
+type format = Qdimacs | Nqdimacs
+
+val sniff_format : string -> format
+(** Decide from the first non-comment line of the {e contents}: a
+    [p ncnf] header means NQDIMACS, anything else QDIMACS. *)
+
+val load :
+  ?format:format -> string -> (Qbf_core.Formula.t, Run_error.t) result
+(** Read and parse a file, sniffing the format unless given.  Missing or
+    unreadable files, malformed input, and invalid formulas all come
+    back as structured errors — nothing escapes as an exception. *)
+
+val load_string :
+  ?file:string ->
+  ?format:format ->
+  string ->
+  (Qbf_core.Formula.t, Run_error.t) result
+(** Same on in-memory contents; [file] only labels diagnostics. *)
+
+val load_exn : ?format:format -> string -> Qbf_core.Formula.t
+(** Exception shim: raises {!Run_error.Error}. *)
+
+type stop_reason =
+  | Timeout  (** the wall-clock deadline expired *)
+  | Interrupted of Limits.Interrupt.reason
+      (** a signal arrived, the memory guard tripped, or code tripped
+          the interrupt *)
+  | Node_budget  (** the leaf budget was hit *)
+  | Budget  (** another configured budget (decisions, custom hook) *)
+
+val string_of_stop_reason : stop_reason -> string
+
+type report = {
+  outcome : ST.outcome;
+  time : float;  (** seconds, measured by the limits' clock *)
+  stats : ST.stats;  (** complete even when stopped early *)
+  stopped : stop_reason option;  (** [None] iff the outcome is conclusive *)
+}
+
+val solve :
+  ?limits:Limits.t ->
+  ?interrupt:Limits.Interrupt.t ->
+  ?config:ST.config ->
+  Qbf_core.Formula.t ->
+  report
+(** Solve under [limits].  A [should_stop]/[stop_flag] already present
+    in [config] is preserved (the deadline is OR-ed in; the caller's
+    flag keeps priority).  Passing a shared [interrupt] lets one
+    Ctrl-C end a whole suite of runs. *)
+
+type attempt = {
+  label : string;
+  budget_s : float option;
+      (** per-attempt wall budget; [None] = only the overall limit *)
+  config : ST.config;
+}
+
+val escalating :
+  ?base:float -> ?factor:float -> ?config:ST.config -> unit -> attempt list
+(** The default escalation ladder: PO with learning at [base] seconds,
+    TO with restarts at [base *. factor], then PO with restarts,
+    unbounded.  [config] seeds every rung (e.g. an [aux_hint]). *)
+
+type portfolio_report = {
+  outcome : ST.outcome;  (** of the last attempt run *)
+  attempts : (string * report) list;  (** in execution order *)
+  total_time : float;
+}
+
+val portfolio :
+  ?limits:Limits.t ->
+  ?interrupt:Limits.Interrupt.t ->
+  attempt list ->
+  Qbf_core.Formula.t ->
+  portfolio_report
+(** Run [attempts] in order, returning on the first conclusive outcome.
+    Per-attempt budgets are clipped to the remaining overall
+    [limits.timeout_s]; an interrupt or an expired overall deadline
+    stops the ladder between attempts. *)

@@ -8,14 +8,28 @@ module S = State
 
 let leaves s = s.S.stats.conflicts + s.S.stats.solutions
 
+(* The external budget is split in two so that the hot path stays cheap:
+   [stop_flag] is a plain memory load (set asynchronously by signal
+   handlers or Gc alarms) and is read on every check, while
+   [should_stop] — typically a [Unix.gettimeofday] deadline — is polled
+   only every [stop_interval] checks behind a tick counter. *)
 let budget_exhausted s =
-  (match s.S.config.max_decisions with
-  | Some m -> s.S.stats.decisions >= m
-  | None -> false)
+  (match s.S.config.stop_flag with Some r -> !r | None -> false)
+  || (match s.S.config.max_decisions with
+     | Some m -> s.S.stats.decisions >= m
+     | None -> false)
   || (match s.S.config.max_nodes with
      | Some m -> leaves s >= m
      | None -> false)
-  || (match s.S.config.should_stop with Some f -> f () | None -> false)
+  || (match s.S.config.should_stop with
+     | None -> false
+     | Some f ->
+         s.S.stop_ticks <- s.S.stop_ticks + 1;
+         if s.S.stop_ticks >= s.S.config.stop_interval then begin
+           s.S.stop_ticks <- 0;
+           f ()
+         end
+         else false)
 
 (* A stale discovery queue can hide a falsified original clause when all
    variables end up assigned; rescan to recover it (soundness net, see

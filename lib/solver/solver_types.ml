@@ -81,6 +81,15 @@ type config = {
   max_decisions : int option;
   max_nodes : int option; (* bound on conflicts + solutions *)
   should_stop : (unit -> bool) option; (* external budget, e.g. wall clock *)
+  stop_flag : bool ref option;
+      (* cooperative interrupt: read on every budget check (one memory
+         load), set asynchronously by signal handlers or Gc alarms (see
+         Qbf_run.Limits) *)
+  stop_interval : int;
+      (* budget checks between [should_stop] polls; 1 polls on every
+         check (the historical behaviour), larger values amortize an
+         expensive poll such as [Unix.gettimeofday] behind a tick
+         counter *)
   rescale_interval : int; (* activity-halving period, in leaves *)
   restarts : bool; (* Luby-scheduled restarts (keep learned constraints) *)
   restart_base : int; (* leaves per Luby unit *)
@@ -103,6 +112,8 @@ let default_config =
     max_decisions = None;
     max_nodes = None;
     should_stop = None;
+    stop_flag = None;
+    stop_interval = 1;
     rescale_interval = 256;
     restarts = false;
     restart_base = 128;

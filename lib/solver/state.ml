@@ -60,6 +60,9 @@ type t = {
          learned goods short (see Propagate) *)
   seen : int array; (* per var: epoch marks for analysis *)
   mutable epoch : int;
+  mutable stop_ticks : int;
+      (* budget checks since the last [should_stop] poll (see
+         Engine.budget_exhausted) *)
   drop_ok : bool array;
       (* per var: existential with no universal variable anywhere in its
          ≺-scope, so existential reduction removes it from any cube *)
@@ -299,6 +302,7 @@ let create formula config =
       pure_defer_q = Vec.create (-1);
       seen = Array.make n 0;
       epoch = 0;
+      stop_ticks = 0;
       drop_ok = Array.make n false;
       is_aux = Array.make n false;
     }

@@ -5,7 +5,10 @@ module T1 = Qbf_bench.Table1
 module ST = Qbf_solver.Solver_types
 
 let fake_run ?(outcome = ST.True) time =
-  { B.outcome; time; nodes = 0; stats = ST.empty_stats () }
+  let stopped =
+    if outcome = ST.Unknown then Some Qbf_run.Run.Timeout else None
+  in
+  { B.outcome; time; nodes = 0; stats = ST.empty_stats (); stopped }
 
 let timeout_run = fake_run ~outcome:ST.Unknown 1.
 

@@ -6,6 +6,7 @@ let () =
       ("solver-internals", Test_solver_internals.suite);
       ("prenex", Test_prenex.suite);
       ("io", Test_io.suite);
+      ("run", Test_run.suite);
       ("gen", Test_gen.suite);
       ("models", Test_models.suite);
       ("bench", Test_bench.suite);

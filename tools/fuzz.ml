@@ -1,37 +1,214 @@
-(* Heavy differential fuzzing: solver configs vs oracle. *)
+(* Seeded differential fuzzer for the whole stack (consolidates the old
+   fuzz2..fuzz8 one-off harnesses).
+
+     fuzz [--seeds N] [--seed-base S] [--max-seconds T] [-v]
+
+   Per seed, three phases:
+
+   1. differential: a random QBF (tree or prenex) solved under every
+      interesting engine configuration — the 8-way learning x pures x
+      TO/PO matrix plus the aux-hint (virtual cover) and the
+      restarts+db-reduction variants — each checked against the
+      expansion oracle (Qbf_core.Eval);
+
+   2. round-trip: the formula is printed to NQDIMACS (and QDIMACS when
+      prenex), re-read through the structured loader (Qbf_run.Run), and
+      the reparse must agree with the oracle;
+
+   3. robustness: the serialized text is mutated — truncated at a random
+      offset, a random line dropped, random bytes corrupted — and fed
+      back to the loader, which must return Ok or a structured Error
+      but never let an exception escape.
+
+   Stops early when --max-seconds is exceeded (the smoke target in
+   test/dune runs a 2-second slice on every `dune runtest`).  Exits
+   nonzero on any mismatch or escaped exception. *)
+
 open Qbf_core
 module ST = Qbf_solver.Solver_types
+module Run = Qbf_run.Run
 
 let configs =
-  List.concat_map (fun learning ->
-    List.concat_map (fun pure_literals ->
-      List.map (fun heuristic -> { ST.default_config with learning; pure_literals; heuristic })
-        [ ST.Total_order; ST.Partial_order ])
-      [ true; false ])
-    [ true; false ]
+  let matrix =
+    List.concat_map
+      (fun learning ->
+        List.concat_map
+          (fun pure_literals ->
+            List.map
+              (fun heuristic ->
+                ( Printf.sprintf "learn=%b pure=%b %s" learning pure_literals
+                    (match heuristic with
+                    | ST.Total_order -> "TO"
+                    | ST.Partial_order -> "PO"),
+                  { ST.default_config with learning; pure_literals; heuristic }
+                ))
+              [ ST.Total_order; ST.Partial_order ])
+          [ true; false ])
+      [ true; false ]
+  in
+  matrix
+  @ List.concat_map
+      (fun heuristic ->
+        let hn =
+          match heuristic with ST.Total_order -> "TO" | _ -> "PO"
+        in
+        [
+          ( "aux-hint " ^ hn,
+            {
+              ST.default_config with
+              ST.heuristic;
+              ST.aux_hint = Some (fun _ -> true);
+            } );
+          ( "restarts " ^ hn,
+            {
+              ST.default_config with
+              ST.heuristic;
+              ST.restarts = true;
+              ST.restart_base = 2;
+              ST.db_reduction = true;
+            } );
+        ])
+      [ ST.Total_order; ST.Partial_order ]
+
+let gen_formula rng seed =
+  let nvars = 1 + Qbf_gen.Rng.int rng 14 in
+  let nclauses = Qbf_gen.Rng.int rng 35 in
+  let len = 1 + Qbf_gen.Rng.int rng 4 in
+  if seed mod 2 = 0 then Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len ()
+  else
+    Qbf_gen.Randqbf.prenex rng ~nvars
+      ~levels:(1 + (seed mod 5))
+      ~nclauses ~len
+      ~min_exists:(seed mod 3)
+      ()
+
+let mutate rng text =
+  let n = String.length text in
+  if n = 0 then text
+  else
+    match Qbf_gen.Rng.int rng 3 with
+    | 0 ->
+        (* truncate at a random offset *)
+        String.sub text 0 (Qbf_gen.Rng.int rng n)
+    | 1 ->
+        (* drop a random line *)
+        let lines = String.split_on_char '\n' text in
+        let k = Qbf_gen.Rng.int rng (max 1 (List.length lines)) in
+        List.filteri (fun i _ -> i <> k) lines |> String.concat "\n"
+    | _ ->
+        (* corrupt a few random bytes with printable noise *)
+        let b = Bytes.of_string text in
+        for _ = 0 to Qbf_gen.Rng.int rng 3 do
+          let i = Qbf_gen.Rng.int rng n in
+          let c = Char.chr (32 + Qbf_gen.Rng.int rng 95) in
+          Bytes.set b i c
+        done;
+        Bytes.to_string b
 
 let () =
-  let n = int_of_string Sys.argv.(1) in
+  let seeds = ref 500 in
+  let seed_base = ref 0 in
+  let max_seconds = ref infinity in
+  let verbose = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--seeds" :: v :: rest ->
+        seeds := int_of_string v;
+        parse_args rest
+    | "--seed-base" :: v :: rest ->
+        seed_base := int_of_string v;
+        parse_args rest
+    | "--max-seconds" :: v :: rest ->
+        max_seconds := float_of_string v;
+        parse_args rest
+    | "-v" :: rest | "--verbose" :: rest ->
+        verbose := true;
+        parse_args rest
+    | n :: rest when int_of_string_opt n <> None ->
+        (* bare count, for `fuzz 1000` muscle memory *)
+        seeds := int_of_string n;
+        parse_args rest
+    | other :: _ ->
+        Printf.eprintf
+          "usage: fuzz [--seeds N] [--seed-base S] [--max-seconds T] [-v]\n\
+           unknown argument %S\n"
+          other;
+        exit 64
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let t0 = Unix.gettimeofday () in
   let bad = ref 0 in
-  for seed = 0 to n - 1 do
-    let rng = Qbf_gen.Rng.create seed in
-    let nvars = 1 + Qbf_gen.Rng.int rng 14 in
-    let nclauses = Qbf_gen.Rng.int rng 35 in
-    let len = 1 + Qbf_gen.Rng.int rng 4 in
-    let f =
-      if seed mod 2 = 0 then Qbf_gen.Randqbf.tree rng ~nvars ~nclauses ~len ()
-      else Qbf_gen.Randqbf.prenex rng ~nvars ~levels:(1 + seed mod 5) ~nclauses ~len ~min_exists:(seed mod 3) ()
-    in
-    let expected = Eval.eval f in
-    List.iter (fun config ->
-      let r = Qbf_solver.Engine.solve ~config f in
-      let got = match r.ST.outcome with ST.True -> Some true | ST.False -> Some false | ST.Unknown -> None in
-      if got <> Some expected then begin
-        incr bad;
-        Printf.printf "MISMATCH seed=%d expected=%b got=%s learn=%b pure=%b %s\n" seed expected
-          (match got with Some b -> string_of_bool b | None -> "unknown")
-          config.ST.learning config.ST.pure_literals
-          (match config.ST.heuristic with ST.Total_order -> "TO" | _ -> "PO")
-      end) configs
-  done;
-  Printf.printf "fuzz done: %d seeds, %d mismatches\n" n !bad
+  let done_seeds = ref 0 in
+  let complain seed fmt =
+    incr bad;
+    Printf.printf "seed=%d " seed;
+    Printf.kfprintf (fun oc -> output_char oc '\n') stdout fmt
+  in
+  (try
+     for seed = !seed_base to !seed_base + !seeds - 1 do
+       if Unix.gettimeofday () -. t0 > !max_seconds then raise Exit;
+       let rng = Qbf_gen.Rng.create seed in
+       let f = gen_formula rng seed in
+       let expected = Eval.eval f in
+       (* 1. differential: every configuration vs the oracle *)
+       List.iter
+         (fun (cname, config) ->
+           let r = Qbf_solver.Engine.solve ~config f in
+           let got =
+             match r.ST.outcome with
+             | ST.True -> Some true
+             | ST.False -> Some false
+             | ST.Unknown -> None
+           in
+           if got <> Some expected then
+             complain seed "MISMATCH [%s] expected=%b got=%s" cname expected
+               (match got with
+               | Some b -> string_of_bool b
+               | None -> "unknown"))
+         configs;
+       (* 2. round-trip through the structured loader *)
+       let texts =
+         (Qbf_io.Nqdimacs.to_string f, Run.Nqdimacs)
+         ::
+         (if Prefix.is_prenex (Formula.prefix f) then
+            [ (Qbf_io.Qdimacs.to_string f, Run.Qdimacs) ]
+          else [])
+       in
+       List.iter
+         (fun (text, format) ->
+           match Run.load_string ~format text with
+           | Ok f' ->
+               if Eval.eval f' <> expected then
+                 complain seed "ROUNDTRIP value drift (%s)"
+                   (match format with
+                   | Run.Qdimacs -> "qdimacs"
+                   | Run.Nqdimacs -> "nqdimacs")
+           | Error e ->
+               complain seed "ROUNDTRIP rejected: %s"
+                 (Qbf_run.Run_error.to_string e)
+           | exception e ->
+               complain seed "ROUNDTRIP exception: %s" (Printexc.to_string e))
+         texts;
+       (* 3. robustness: mutated/truncated inputs must yield Ok or a
+          structured Error, never an escaped exception *)
+       List.iter
+         (fun (text, _) ->
+           for _ = 0 to 3 do
+             let mutated = mutate rng text in
+             match Run.load_string mutated with
+             | Ok _ | Error _ -> ()
+             | exception e ->
+                 complain seed "MUTATION exception: %s on %S"
+                   (Printexc.to_string e) mutated
+           done)
+         texts;
+       incr done_seeds;
+       if !verbose && seed mod 100 = 0 then
+         Printf.printf "... seed %d (%.1fs)\n%!" seed
+           (Unix.gettimeofday () -. t0)
+     done
+   with Exit -> ());
+  Printf.printf "fuzz done: %d seeds (%d requested), %d failures, %.1fs\n"
+    !done_seeds !seeds !bad
+    (Unix.gettimeofday () -. t0);
+  exit (if !bad > 0 then 1 else 0)
