@@ -3,6 +3,12 @@
 
    Usage:
      bench/main.exe [section ...] [--timeout S] [--per-setting N] [--full]
+                    [--json DIR]
+
+   [--json DIR] makes the table1 sections collect per-run metrics and
+   phase-profile snapshots and write schema-versioned BENCH_<section>.json
+   files under DIR, so perf PRs can diff search-shape counts
+   (decisions, propagations, backjump lengths), not just seconds.
 
    Sections: table1-ncf table1-fpv table1-dia table1-eval
              fig3 fig4 fig5 fig6 fig7 micro all (default: all)
@@ -23,10 +29,20 @@ type opts = {
   fpv_count : int;
   eval_count : int;
   full : bool;
+  json_dir : string option;
+      (* when set, table1 sections also collect metrics/profile
+         snapshots and write BENCH_<section>.json under this dir *)
 }
 
 let default_opts =
-  { timeout = 3.; per_setting = 6; fpv_count = 40; eval_count = 12; full = false }
+  {
+    timeout = 3.;
+    per_setting = 6;
+    fpv_count = 40;
+    eval_count = 12;
+    full = false;
+    json_dir = None;
+  }
 
 let rng () = Qbf_gen.Rng.create 20060406 (* DATE 2006 *)
 
@@ -39,8 +55,16 @@ let eps_of o = Float.max 0.005 (o.timeout /. 600.)
 
 let run_table1_rows o ~label instances =
   let budget = B.budget o.timeout in
-  let results = List.map (B.run_instance budget) instances in
+  let observe = o.json_dir <> None in
+  let results = List.map (B.run_instance ~observe budget) instances in
   (results, T1.of_results ~label ~eps:(eps_of o) results)
+
+let maybe_write_json o ~section results =
+  match o.json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = B.write_json ~dir ~section results in
+      Printf.printf "wrote %s (%d instances)\n%!" file (List.length results)
 
 let print_rows rows =
   print_endline
@@ -54,16 +78,18 @@ let table1_ncf o =
   in
   Printf.printf "%d instances (%d settings x %d), timeout %.1fs\n%!"
     (List.length instances) (List.length settings) o.per_setting o.timeout;
-  let _, rows = run_table1_rows o ~label:"NCF" instances in
-  print_rows rows
+  let results, rows = run_table1_rows o ~label:"NCF" instances in
+  print_rows rows;
+  maybe_write_json o ~section:"table1-ncf" results
 
 let table1_fpv o =
   section "Table I, row 5: FPV";
   let instances = Suites.fpv_suite (rng ()) ~count:o.fpv_count in
   Printf.printf "%d instances, timeout %.1fs\n%!" (List.length instances)
     o.timeout;
-  let _, rows = run_table1_rows o ~label:"FPV" instances in
-  print_rows rows
+  let results, rows = run_table1_rows o ~label:"FPV" instances in
+  print_rows rows;
+  maybe_write_json o ~section:"table1-fpv" results
 
 let table1_dia o =
   section "Table I, row 6: DIA (diameter QBFs of the NuSMV-style models)";
@@ -76,8 +102,9 @@ let table1_dia o =
   let instances = Suites.dia_suite ~cap:(if o.full then 10 else 6) models in
   Printf.printf "%d instances, timeout %.1fs\n%!" (List.length instances)
     o.timeout;
-  let _, rows = run_table1_rows o ~label:"DIA" instances in
-  print_rows rows
+  let results, rows = run_table1_rows o ~label:"DIA" instances in
+  print_rows rows;
+  maybe_write_json o ~section:"table1-dia" results
 
 let table1_eval o =
   section "Table I, rows 7-8: PROB and FIXED (miniscoped, PO/TO > 20%)";
@@ -85,9 +112,10 @@ let table1_eval o =
   let fixed = Suites.fixed_suite (rng ()) ~count:o.eval_count in
   Printf.printf "PROB: %d instances pass the filter; FIXED: %d\n%!"
     (List.length prob) (List.length fixed);
-  let _, prob_rows = run_table1_rows o ~label:"PROB" prob in
-  let _, fixed_rows = run_table1_rows o ~label:"FIXED" fixed in
-  print_rows (prob_rows @ fixed_rows)
+  let prob_results, prob_rows = run_table1_rows o ~label:"PROB" prob in
+  let fixed_results, fixed_rows = run_table1_rows o ~label:"FIXED" fixed in
+  print_rows (prob_rows @ fixed_rows);
+  maybe_write_json o ~section:"table1-eval" (prob_results @ fixed_results)
 
 (* ---------- Figures ------------------------------------------------------ *)
 
@@ -345,9 +373,13 @@ let () =
     | "--per-setting" :: v :: rest ->
         opts := { !opts with per_setting = int_of_string v };
         parse rest
+    | "--json" :: v :: rest ->
+        opts := { !opts with json_dir = Some v };
+        parse rest
     | "--full" :: rest ->
         opts :=
           {
+            !opts with
             full = true;
             timeout = Float.max !opts.timeout 30.;
             per_setting = 10;

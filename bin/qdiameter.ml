@@ -1,6 +1,7 @@
 (* qdiameter: state-space diameter via the QBFs of Section VII-C.
 
      qdiameter MODEL [--style po|to] [--max-n N] [--timeout S] [--bfs]
+               [--profile]
 
    MODEL is counter<N>, ring<N>, semaphore<N>, dme<N>, or a path to an
    .smv file in the small NuSMV-like language of Qbf_models.Smv.
@@ -9,8 +10,11 @@
 
 open Cmdliner
 module ST = Qbf_solver.Solver_types
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Profile = Qbf_obs.Profile
 
-let run model_name style max_n timeout bfs verbose =
+let run model_name style max_n timeout bfs verbose profile_on =
   let model =
     if Filename.check_suffix model_name ".smv" then
       Qbf_models.Smv.parse_file model_name
@@ -29,6 +33,14 @@ let run model_name style max_n timeout bfs verbose =
   let deadline = Qbf_run.Limits.Deadline.after timeout in
   let interrupt = Qbf_run.Limits.Interrupt.create () in
   let _restore = Qbf_run.Limits.Interrupt.install interrupt in
+  (* One collector across the whole phi_0..phi_d iteration: the profile
+     aggregates the solver phases over every length tried. *)
+  let obs =
+    if profile_on then
+      Some
+        (Obs.make ~metrics:(Metrics.create ()) ~profile:(Profile.create ()) ())
+    else None
+  in
   let config =
     {
       ST.default_config with
@@ -39,6 +51,7 @@ let run model_name style max_n timeout bfs verbose =
         Some (fun () -> Qbf_run.Limits.Deadline.expired deadline);
       ST.stop_flag = Some (Qbf_run.Limits.Interrupt.flag interrupt);
       ST.stop_interval = 64;
+      ST.obs;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -77,6 +90,17 @@ let run model_name style max_n timeout bfs verbose =
         (Unix.gettimeofday () -. t0)
   | None ->
       Printf.printf "%s: not determined within budget\n" model_name);
+  (match obs with
+  | Some o when o.Obs.profile_on ->
+      let m = Metrics.snapshot o.Obs.metrics in
+      Printf.printf "\nprofile (all lengths combined):\n%s"
+        (Profile.render_table (Profile.snapshot o.Obs.profile));
+      Printf.printf "decisions %d  propagations %d  conflicts %d  solutions %d\n"
+        (List.assoc "decisions" m.Metrics.counters)
+        (List.assoc "propagations" m.Metrics.counters)
+        (List.assoc "conflicts" m.Metrics.counters)
+        (List.assoc "solutions" m.Metrics.counters)
+  | _ -> ());
   if bfs then
     match Qbf_models.Reach.diameter model with
     | d -> Printf.printf "%s: BFS oracle diameter %d\n" model_name d
@@ -95,6 +119,9 @@ let cmd =
       $ (value & opt int 40 & Arg.info [ "max-n" ] ~docv:"N")
       $ (value & opt float 60. & Arg.info [ "timeout" ] ~docv:"S")
       $ (value & flag & Arg.info [ "bfs" ] ~doc:"Cross-check with explicit BFS.")
-      $ (value & flag & Arg.info [ "verbose" ] ~doc:"Print each phi_n result."))
+      $ (value & flag & Arg.info [ "verbose" ] ~doc:"Print each phi_n result.")
+      $ (value & flag
+         & Arg.info [ "profile" ]
+             ~doc:"Report solver phase timings aggregated over all lengths."))
 
 let () = exit (Cmd.eval cmd)

@@ -11,7 +11,17 @@
      qube FILE [--heuristic po|to] [--no-learning] [--no-pure]
           [--prenex STRATEGY] [--miniscope] [--preprocess] [--max-nodes N]
           [--timeout S] [--mem-limit MB] [--portfolio] [--json-status]
-          [--stats]
+          [--stats] [--trace FILE] [--trace-every N] [--profile]
+
+   Observability (Qbf_obs): --trace streams the engine's typed event
+   stream (decisions, propagations, conflicts, solutions, learning,
+   backjumps, restarts, deletions) as JSONL; --trace-every N samples
+   every N-th event so full traces stay affordable; --profile times the
+   parse/prenex/build/propagate/analyze/heuristic phases and prints a
+   profile table.  --json-status always carries the complete stats
+   record (same key set on every exit path, including interrupt and
+   memory-cap "s cnf ?" exits) plus metrics/profile snapshots when
+   enabled.
 
    Exit code: 10 if true, 20 if false, 30 if unknown (budget, signal, or
    memory cap), 2 on unreadable/malformed input, following SAT-solver
@@ -22,6 +32,11 @@ open Cmdliner
 module ST = Qbf_solver.Solver_types
 module Run = Qbf_run.Run
 module Limits = Qbf_run.Limits
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Trace = Qbf_obs.Trace
+module Profile = Qbf_obs.Profile
+module Json = Qbf_obs.Json
 
 let input_error e =
   Printf.eprintf "qube: %s\n" (Qbf_run.Run_error.to_string e);
@@ -45,33 +60,45 @@ let outcome_word = function
   | ST.False -> "false"
   | ST.Unknown -> "unknown"
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* The complete stats record.  Every key is always present, so the JSON
+   shape is identical on conclusive, timeout, interrupt and memory-cap
+   exits alike — consumers can rely on the full key set. *)
+let json_of_stats (s : ST.stats) =
+  Json.Obj
+    [
+      ("decisions", Json.Int s.ST.decisions);
+      ("propagations", Json.Int s.ST.propagations);
+      ("pure_assignments", Json.Int s.ST.pure_assignments);
+      ("conflicts", Json.Int s.ST.conflicts);
+      ("solutions", Json.Int s.ST.solutions);
+      ("learned_clauses", Json.Int s.ST.learned_clauses);
+      ("learned_cubes", Json.Int s.ST.learned_cubes);
+      ("backjumps", Json.Int s.ST.backjumps);
+      ("chrono_fallbacks", Json.Int s.ST.chrono_fallbacks);
+      ("max_decision_level", Json.Int s.ST.max_decision_level);
+      ("restarts_done", Json.Int s.ST.restarts_done);
+      ("deleted_constraints", Json.Int s.ST.deleted_constraints);
+    ]
 
 let json_of_report (r : Run.report) =
-  Printf.sprintf
-    "{\"outcome\":\"%s\",\"time\":%.3f,\"stopped\":%s,\"decisions\":%d,\
-     \"propagations\":%d,\"conflicts\":%d,\"solutions\":%d,\"backjumps\":%d,\
-     \"restarts\":%d}"
-    (outcome_word r.Run.outcome)
-    r.Run.time
-    (match r.Run.stopped with
-    | None -> "null"
-    | Some s -> Printf.sprintf "\"%s\"" (Run.string_of_stop_reason s))
-    r.Run.stats.ST.decisions r.Run.stats.ST.propagations
-    r.Run.stats.ST.conflicts r.Run.stats.ST.solutions
-    r.Run.stats.ST.backjumps r.Run.stats.ST.restarts_done
+  Json.Obj
+    [
+      ("outcome", Json.String (outcome_word r.Run.outcome));
+      ("time", Json.Float r.Run.time);
+      ( "stopped",
+        match r.Run.stopped with
+        | None -> Json.Null
+        | Some s -> Json.String (Run.string_of_stop_reason s) );
+      ("stats", json_of_stats r.Run.stats);
+      ( "metrics",
+        match r.Run.metrics with
+        | None -> Json.Null
+        | Some m -> Metrics.snapshot_to_json m );
+      ( "profile",
+        match r.Run.profile with
+        | None -> Json.Null
+        | Some p -> Profile.snapshot_to_json p );
+    ]
 
 let print_report_comments (r : Run.report) =
   Printf.printf "c time %.3fs\n" r.Run.time;
@@ -82,8 +109,45 @@ let print_report_comments (r : Run.report) =
   Printf.printf "c %s\n" (Format.asprintf "%a" ST.pp_stats r.Run.stats)
 
 let run file heuristic no_learning no_pure restarts prenex_to miniscope
-    preprocess max_nodes timeout mem_limit use_portfolio json_status stats =
+    preprocess max_nodes timeout mem_limit use_portfolio json_status stats
+    trace_file trace_every profile_on =
+  (* Observability wiring: the trace (if any) is one JSONL stream shared
+     across the whole invocation, while metrics and profile are fresh
+     per attempt in portfolio mode so each rung reports its own. *)
+  let trace_oc = Option.map open_out trace_file in
+  let trace =
+    Option.map
+      (fun oc ->
+        Trace.create ~capacity:65536 ~every:(max 1 trace_every)
+          ~sink:(fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          ())
+      trace_oc
+  in
+  let observing = trace <> None || profile_on || json_status in
+  let fresh_obs () =
+    Obs.make ~metrics:(Metrics.create ()) ?trace
+      ?profile:(if profile_on then Some (Profile.create ()) else None)
+      ()
+  in
+  (* The top-level collector times parse/prenex and, in single-solve
+     mode, the search itself. *)
+  let obs = if observing then Some (fresh_obs ()) else None in
+  let prof_enter ph =
+    match obs with
+    | Some o when o.Obs.profile_on -> Profile.enter o.Obs.profile ph
+    | _ -> ()
+  in
+  let prof_leave ph =
+    match obs with
+    | Some o when o.Obs.profile_on -> Profile.leave o.Obs.profile ph
+    | _ -> ()
+  in
+  prof_enter Profile.Parse;
   let f = match Run.load file with Ok f -> f | Error e -> input_error e in
+  prof_leave Profile.Parse;
+  prof_enter Profile.Prenex;
   let f =
     if preprocess then Qbf_prenex.Preprocess.simplify_formula f else f
   in
@@ -93,6 +157,7 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
     | None -> f
     | Some name -> Qbf_prenex.Prenexing.apply (strategy_of_name name) f
   in
+  prof_leave Profile.Prenex;
   let config =
     {
       ST.default_config with
@@ -110,6 +175,10 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
       ST.max_nodes;
     }
   in
+  (* In single-solve mode the top-level collector rides in the config;
+     in portfolio mode it only times parse/prenex and each attempt gets
+     a fresh collector through the [observe] factory instead. *)
+  let config = if use_portfolio then config else { config with ST.obs } in
   let limits =
     Limits.make ?timeout_s:timeout ?mem_mb:mem_limit ~poll_interval:64 ()
   in
@@ -123,7 +192,12 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
       let base =
         match timeout with Some t -> Float.max (t /. 7.) 0.01 | None -> 0.5
       in
-      let p = Run.portfolio ~limits ~interrupt (Run.escalating ~base ~config ()) f in
+      let observe = if observing then Some (fun _label -> fresh_obs ()) else None in
+      let p =
+        Run.portfolio ~limits ~interrupt ?observe
+          (Run.escalating ~base ~config ())
+          f
+      in
       match List.rev p.Run.attempts with
       | [] ->
           (* no attempt ran (interrupted before the first one) *)
@@ -132,6 +206,8 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
               time = p.Run.total_time;
               stats = ST.empty_stats ();
               stopped = Some (Run.Interrupted Limits.Interrupt.Manual);
+              metrics = None;
+              profile = None;
             },
             [] )
       | (_, last) :: _ -> (last, p.Run.attempts)
@@ -139,6 +215,9 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
     else (Run.solve ~limits ~interrupt ~config f, [])
   in
   restore ();
+  (* drain any buffered trace events and close the stream *)
+  Option.iter Trace.flush trace;
+  Option.iter close_out trace_oc;
   Printf.printf "s cnf %s %s\n" (outcome_char report.Run.outcome) file;
   List.iteri
     (fun i (label, (r : Run.report)) ->
@@ -160,22 +239,57 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
         (Qbf_core.Prefix.prefix_level (Qbf_core.Formula.prefix f))
         (Qbf_core.Prefix.is_prenex (Qbf_core.Formula.prefix f))
   end;
+  (if profile_on then
+     let print_table tag snap =
+       Printf.printf "c profile%s\n" tag;
+       String.split_on_char '\n' (Profile.render_table snap)
+       |> List.iter (fun l -> if l <> "" then Printf.printf "c   %s\n" l)
+     in
+     if use_portfolio then begin
+       (* parse/prenex spans live on the top-level collector; each
+          attempt carries its own engine profile *)
+       (match obs with
+       | Some o when o.Obs.profile_on ->
+           let snap = Profile.snapshot o.Obs.profile in
+           if snap <> [] then print_table "" snap
+       | _ -> ());
+       List.iter
+         (fun (label, (r : Run.report)) ->
+           match r.Run.profile with
+           | Some snap -> print_table (" attempt " ^ label) snap
+           | None -> ())
+         attempts
+     end
+     else
+       match report.Run.profile with
+       | Some snap -> print_table "" snap
+       | None -> ());
+  (match trace with
+  | Some t ->
+      Printf.printf "c trace events offered=%d recorded=%d every=%d\n"
+        (Trace.offered t) (Trace.recorded t) (Trace.every t)
+  | None -> ());
   if json_status then begin
-    let attempts_json =
-      if attempts = [] then ""
-      else
-        Printf.sprintf ",\"attempts\":[%s]"
-          (String.concat ","
-             (List.map
-                (fun (label, r) ->
-                  Printf.sprintf "{\"label\":\"%s\",\"report\":%s}"
-                    (json_escape label) (json_of_report r))
-                attempts))
+    let status =
+      Json.Obj
+        [
+          ("file", Json.String file);
+          ("outcome", Json.String (outcome_word report.Run.outcome));
+          ("time", Json.Float report.Run.time);
+          ("report", json_of_report report);
+          ( "attempts",
+            Json.List
+              (List.map
+                 (fun (label, r) ->
+                   Json.Obj
+                     [
+                       ("label", Json.String label);
+                       ("report", json_of_report r);
+                     ])
+                 attempts) );
+        ]
     in
-    Printf.printf "{\"file\":\"%s\",\"outcome\":\"%s\",\"time\":%.3f%s}\n"
-      (json_escape file)
-      (outcome_word report.Run.outcome)
-      report.Run.time attempts_json
+    print_endline (Json.to_string status)
   end;
   exit
     (match report.Run.outcome with ST.True -> 10 | ST.False -> 20 | _ -> 30)
@@ -249,6 +363,29 @@ let json_status_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Stream the engine's typed event stream (decision, \
+              propagation, pure, conflict, solution, learn-clause, \
+              learn-cube, backjump, restart, constraint-delete) to FILE \
+              as JSONL, one event per line with decision level, prefix \
+              level and a monotonic timestamp.")
+
+let trace_every_arg =
+  Arg.(value & opt int 1
+    & info [ "trace-every" ] ~docv:"N"
+        ~doc:"Record every N-th event only (deterministic sampling), so \
+              full traces of hard instances stay affordable.  Default 1 \
+              (record everything).")
+
+let profile_arg =
+  Arg.(value & flag
+    & info [ "profile" ]
+        ~doc:"Time the parse, prenex, build, propagate, analyze and \
+              heuristic phases (wall and CPU) and print a profile \
+              table.")
+
 let cmd =
   let doc = "search-based QBF solver with non-prenex (quantifier tree) support" in
   Cmd.v
@@ -262,6 +399,7 @@ let cmd =
       const run $ file_arg $ heuristic_arg $ no_learning_arg $ no_pure_arg
       $ restarts_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
       $ max_nodes_arg $ timeout_arg $ mem_limit_arg $ portfolio_arg
-      $ json_status_arg $ stats_arg)
+      $ json_status_arg $ stats_arg $ trace_arg $ trace_every_arg
+      $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,227 @@
+(* Metrics registry: named counters, gauges and histograms with O(1)
+   hot-path updates.  The hot path works on a preallocated record of
+   mutable ints — no closures, no hashing, no allocation per event; the
+   *registry* view (stable names, snapshot, JSON) is only materialised
+   when a snapshot is taken.
+
+   Histograms use log2 buckets: an observation [x >= 0] lands in bucket
+   [bits x] (the position of its highest set bit, 0 for x = 0), so the
+   update is a handful of instructions and the memory footprint is one
+   small int array per histogram. *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  h_buckets : int array; (* log2 buckets *)
+}
+
+let hist_buckets = 32
+
+let hist_create () =
+  { h_count = 0; h_sum = 0; h_max = 0; h_buckets = Array.make hist_buckets 0 }
+
+let bits x =
+  let rec go n x = if x = 0 then n else go (n + 1) (x lsr 1) in
+  if x <= 0 then 0 else go 0 x
+
+let hist_add h x =
+  let x = if x < 0 then 0 else x in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + x;
+  if x > h.h_max then h.h_max <- x;
+  let b = bits x in
+  let b = if b >= hist_buckets then hist_buckets - 1 else b in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_mean h =
+  if h.h_count = 0 then 0. else float_of_int h.h_sum /. float_of_int h.h_count
+
+type t = {
+  (* counters (mirror the engine's stats record so a snapshot is
+     self-contained even without the stats struct at hand) *)
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable pure_assignments : int;
+  mutable conflicts : int;
+  mutable solutions : int;
+  mutable learned_clauses : int;
+  mutable learned_cubes : int;
+  mutable backjumps : int;
+  mutable restarts : int;
+  mutable deleted_constraints : int;
+  (* gauges *)
+  mutable max_decision_level : int;
+  (* histograms *)
+  backjump_length : hist; (* levels undone per learning backjump *)
+  decision_level : hist; (* decision level at each branching step *)
+  learned_clause_size : hist;
+  learned_cube_size : hist;
+  (* per-prefix-level decision counts, grown on demand (prefix levels
+     are small: the paper's suites stay under a few dozen) *)
+  mutable per_level : int array;
+}
+
+let create () =
+  {
+    decisions = 0;
+    propagations = 0;
+    pure_assignments = 0;
+    conflicts = 0;
+    solutions = 0;
+    learned_clauses = 0;
+    learned_cubes = 0;
+    backjumps = 0;
+    restarts = 0;
+    deleted_constraints = 0;
+    max_decision_level = 0;
+    backjump_length = hist_create ();
+    decision_level = hist_create ();
+    learned_clause_size = hist_create ();
+    learned_cube_size = hist_create ();
+    per_level = Array.make 16 0;
+  }
+
+(* ---------- hot-path updates ------------------------------------------- *)
+
+let[@inline] ensure_level m lvl =
+  if lvl >= Array.length m.per_level then begin
+    let bigger = Array.make (max (lvl + 1) (2 * Array.length m.per_level)) 0 in
+    Array.blit m.per_level 0 bigger 0 (Array.length m.per_level);
+    m.per_level <- bigger
+  end
+
+(* [plevel] is the prefix level of the branching variable, [dlevel] the
+   decision level being opened. *)
+let on_decision m ~plevel ~dlevel =
+  m.decisions <- m.decisions + 1;
+  if dlevel > m.max_decision_level then m.max_decision_level <- dlevel;
+  hist_add m.decision_level dlevel;
+  ensure_level m plevel;
+  m.per_level.(plevel) <- m.per_level.(plevel) + 1
+
+let on_propagation m = m.propagations <- m.propagations + 1
+let on_pure m = m.pure_assignments <- m.pure_assignments + 1
+let on_conflict m = m.conflicts <- m.conflicts + 1
+let on_solution m = m.solutions <- m.solutions + 1
+
+let on_learn_clause m ~size =
+  m.learned_clauses <- m.learned_clauses + 1;
+  hist_add m.learned_clause_size size
+
+let on_learn_cube m ~size =
+  m.learned_cubes <- m.learned_cubes + 1;
+  hist_add m.learned_cube_size size
+
+let on_backjump m ~from_level ~to_level =
+  m.backjumps <- m.backjumps + 1;
+  hist_add m.backjump_length (from_level - to_level)
+
+let on_restart m = m.restarts <- m.restarts + 1
+let on_delete m = m.deleted_constraints <- m.deleted_constraints + 1
+
+(* ---------- snapshot ---------------------------------------------------- *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  max_value : int;
+  mean : float;
+  buckets : (int * int) list; (* (inclusive lower bound, count), non-empty *)
+}
+
+let hist_snapshot h =
+  let buckets = ref [] in
+  for b = hist_buckets - 1 downto 0 do
+    if h.h_buckets.(b) > 0 then
+      let lo = if b = 0 then 0 else 1 lsl (b - 1) in
+      buckets := (lo, h.h_buckets.(b)) :: !buckets
+  done;
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    max_value = h.h_max;
+    mean = hist_mean h;
+    buckets = !buckets;
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+  per_level_decisions : int list; (* index = prefix level *)
+}
+
+let leaves m = m.conflicts + m.solutions
+
+let snapshot m =
+  let counters =
+    [
+      ("decisions", m.decisions);
+      ("propagations", m.propagations);
+      ("pure_assignments", m.pure_assignments);
+      ("conflicts", m.conflicts);
+      ("solutions", m.solutions);
+      ("learned_clauses", m.learned_clauses);
+      ("learned_cubes", m.learned_cubes);
+      ("backjumps", m.backjumps);
+      ("restarts", m.restarts);
+      ("deleted_constraints", m.deleted_constraints);
+    ]
+  in
+  let gauges =
+    [
+      ("max_decision_level", float_of_int m.max_decision_level);
+      ( "propagations_per_conflict",
+        if m.conflicts = 0 then 0.
+        else float_of_int m.propagations /. float_of_int m.conflicts );
+      ( "decisions_per_leaf",
+        if leaves m = 0 then 0.
+        else float_of_int m.decisions /. float_of_int (leaves m) );
+    ]
+  in
+  let histograms =
+    [
+      ("backjump_length", hist_snapshot m.backjump_length);
+      ("decision_level", hist_snapshot m.decision_level);
+      ("learned_clause_size", hist_snapshot m.learned_clause_size);
+      ("learned_cube_size", hist_snapshot m.learned_cube_size);
+    ]
+  in
+  (* trim trailing zero levels but keep level 0 so the list is total *)
+  let last = ref 0 in
+  Array.iteri (fun i n -> if n > 0 then last := i) m.per_level;
+  let per_level_decisions =
+    List.init (!last + 1) (fun i -> m.per_level.(i))
+  in
+  { counters; gauges; histograms; per_level_decisions }
+
+(* ---------- JSON --------------------------------------------------------- *)
+
+let hist_to_json (h : hist_snapshot) =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Int h.sum);
+      ("max", Json.Int h.max_value);
+      ("mean", Json.Float h.mean);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ])
+             h.buckets) );
+    ]
+
+let snapshot_to_json (s : snapshot) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, hist_to_json h)) s.histograms) );
+      ( "per_level_decisions",
+        Json.List (List.map (fun n -> Json.Int n) s.per_level_decisions) );
+    ]

@@ -1,0 +1,43 @@
+(* The observability collector threaded through the engine: one
+   preallocated record bundling the metrics registry, the trace emitter
+   and the phase profiler, with one boolean flag per component.
+
+   The contract with the hot path is: every instrumentation site is
+   guarded by a single flag read ([metrics_on] / [trace_on] /
+   [profile_on]); when a flag is false the component is never touched,
+   so a disabled collector costs one load and one branch per site and
+   allocates nothing.  [none] is the shared all-off collector installed
+   when a solve is run without observability. *)
+
+type t = {
+  metrics_on : bool;
+  trace_on : bool;
+  profile_on : bool;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  profile : Profile.t;
+}
+
+(* Missing components get minimal placeholders (a 1-slot ring, empty
+   accumulators): they exist only to fill the record and are never
+   touched, because their flags are off. *)
+let make ?metrics ?trace ?profile () =
+  {
+    metrics_on = metrics <> None;
+    trace_on = trace <> None;
+    profile_on = profile <> None;
+    metrics =
+      (match metrics with Some m -> m | None -> Metrics.create ());
+    trace =
+      (match trace with
+      | Some t -> t
+      | None -> Trace.create ~capacity:1 ());
+    profile =
+      (match profile with Some p -> p | None -> Profile.create ());
+  }
+
+let none = make ()
+
+(* Flush any buffered trace events to the sink (call once at the end of
+   a traced run). *)
+let flush t = if t.trace_on then Trace.flush t.trace

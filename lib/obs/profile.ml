@@ -1,0 +1,151 @@
+(* Phase profiler: wall/CPU timing spans around the solver's phases.
+
+   Spans are preallocated per-phase accumulators indexed by a small
+   enum, so [enter]/[leave] are two clock reads and a few stores — cheap
+   enough to wrap per-leaf engine calls when profiling is on, and never
+   executed when it is off (the engine guards on the collector flag).
+   Clocks are injectable for deterministic tests; the defaults are
+   [Unix.gettimeofday] (wall) and [Sys.time] (CPU). *)
+
+type phase =
+  | Parse (* reading + parsing the input *)
+  | Prenex (* prenexing / miniscoping / preprocessing *)
+  | Build (* solver-state construction from the formula *)
+  | Propagate (* the propagation loop *)
+  | Analyze (* conflict/solution analysis incl. backjumping *)
+  | Heuristic (* branching-variable selection *)
+  | Solve (* the whole search call, outer span *)
+
+let phase_to_string = function
+  | Parse -> "parse"
+  | Prenex -> "prenex"
+  | Build -> "build"
+  | Propagate -> "propagate"
+  | Analyze -> "analyze"
+  | Heuristic -> "heuristic"
+  | Solve -> "solve"
+
+let phase_index = function
+  | Parse -> 0
+  | Prenex -> 1
+  | Build -> 2
+  | Propagate -> 3
+  | Analyze -> 4
+  | Heuristic -> 5
+  | Solve -> 6
+
+let all_phases = [ Parse; Prenex; Build; Propagate; Analyze; Heuristic; Solve ]
+let num_phases = 7
+
+type t = {
+  clock : unit -> float;
+  cpu : unit -> float;
+  wall_total : float array;
+  cpu_total : float array;
+  calls : int array;
+  start_wall : float array;
+  start_cpu : float array;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(cpu = Sys.time) () =
+  {
+    clock;
+    cpu;
+    wall_total = Array.make num_phases 0.;
+    cpu_total = Array.make num_phases 0.;
+    calls = Array.make num_phases 0;
+    start_wall = Array.make num_phases 0.;
+    start_cpu = Array.make num_phases 0.;
+  }
+
+let enter t ph =
+  let i = phase_index ph in
+  t.start_wall.(i) <- t.clock ();
+  t.start_cpu.(i) <- t.cpu ()
+
+let leave t ph =
+  let i = phase_index ph in
+  t.wall_total.(i) <- t.wall_total.(i) +. (t.clock () -. t.start_wall.(i));
+  t.cpu_total.(i) <- t.cpu_total.(i) +. (t.cpu () -. t.start_cpu.(i));
+  t.calls.(i) <- t.calls.(i) + 1
+
+(* Convenience span for cold paths (allocates a closure; do not use on
+   the search hot path — guard and call [enter]/[leave] inline there). *)
+let span t ph f =
+  enter t ph;
+  Fun.protect ~finally:(fun () -> leave t ph) f
+
+type span_snapshot = { phase : string; calls : int; wall_s : float; cpu_s : float }
+type snapshot = span_snapshot list
+
+(* Phases that never ran are omitted: the profile of a plain solve does
+   not carry parse/prenex rows, the CLI's does. *)
+let snapshot (t : t) =
+  List.filter_map
+    (fun ph ->
+      let i = phase_index ph in
+      if t.calls.(i) = 0 then None
+      else
+        Some
+          {
+            phase = phase_to_string ph;
+            calls = t.calls.(i);
+            wall_s = t.wall_total.(i);
+            cpu_s = t.cpu_total.(i);
+          })
+    all_phases
+
+(* The engine's propagate/analyze/heuristic spans nest inside [Solve];
+   [other] is the solve time not covered by any inner span. *)
+let render_table (s : snapshot) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %10s %12s %12s %7s\n" "phase" "calls" "wall(s)"
+       "cpu(s)" "wall%");
+  let inner = [ "propagate"; "analyze"; "heuristic" ] in
+  let solve_wall =
+    List.fold_left
+      (fun acc sp -> if sp.phase = "solve" then sp.wall_s else acc)
+      0. s
+  in
+  let inner_wall =
+    List.fold_left
+      (fun acc sp -> if List.mem sp.phase inner then acc +. sp.wall_s else acc)
+      0. s
+  in
+  (* top-level phases partition the run; inner spans nest inside solve *)
+  let total =
+    List.fold_left
+      (fun acc sp ->
+        if List.mem sp.phase inner then acc else acc +. sp.wall_s)
+      0. s
+  in
+  List.iter
+    (fun sp ->
+      let pct = if total > 0. then 100. *. sp.wall_s /. total else 0. in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %10d %12.6f %12.6f %6.1f%%\n" sp.phase sp.calls
+           sp.wall_s sp.cpu_s pct))
+    s;
+  if solve_wall > 0. && inner_wall > 0. then
+    Buffer.add_string buf
+      (Printf.sprintf "%-10s %10s %12.6f %12s %6.1f%%\n" "other" ""
+         (Float.max 0. (solve_wall -. inner_wall))
+         ""
+         (if total > 0. then
+            100. *. Float.max 0. (solve_wall -. inner_wall) /. total
+          else 0.));
+  Buffer.contents buf
+
+let snapshot_to_json (s : snapshot) =
+  Json.List
+    (List.map
+       (fun sp ->
+         Json.Obj
+           [
+             ("phase", Json.String sp.phase);
+             ("calls", Json.Int sp.calls);
+             ("wall_s", Json.Float sp.wall_s);
+             ("cpu_s", Json.Float sp.cpu_s);
+           ])
+       s)

@@ -98,7 +98,23 @@ type report = {
   time : float; (* seconds, by the limits' clock *)
   stats : ST.stats; (* complete even when stopped early *)
   stopped : stop_reason option; (* None iff the outcome is conclusive *)
+  metrics : Qbf_obs.Metrics.snapshot option;
+      (* snapshot of the run's metrics registry, when the config carried
+         a collector with metrics enabled *)
+  profile : Qbf_obs.Profile.snapshot option; (* ditto, phase profiler *)
 }
+
+(* Snapshots of an attached collector, taken when the solve returns
+   (also on interrupt/timeout paths: Engine always returns a result). *)
+let snapshots_of_obs = function
+  | Some o ->
+      ( (if o.Qbf_obs.Obs.metrics_on then
+           Some (Qbf_obs.Metrics.snapshot o.Qbf_obs.Obs.metrics)
+         else None),
+        if o.Qbf_obs.Obs.profile_on then
+          Some (Qbf_obs.Profile.snapshot o.Qbf_obs.Obs.profile)
+        else None )
+  | None -> (None, None)
 
 let min_opt a b =
   match (a, b) with
@@ -173,7 +189,8 @@ let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
           in
           Some (if node_hit then Node_budget else Budget)
   in
-  { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped }
+  let metrics, profile = snapshots_of_obs config.ST.obs in
+  { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped; metrics; profile }
 
 (* ------------------------------------------------------------------ *)
 (* Budget-escalation portfolio                                         *)
@@ -232,9 +249,20 @@ type portfolio_report = {
   total_time : float;
 }
 
-let portfolio ?(limits = Limits.default) ?interrupt attempts formula =
+(* [observe] gives each attempt its own fresh collector (keyed by the
+   attempt label), so every rung of the ladder reports its own metrics
+   snapshot and phase profile: escalation decisions become explainable
+   ("the PO rung spent 80% of its budget in analysis and learned
+   nothing") instead of opaque wall-clock budgets.  An [obs] already
+   present in an attempt's config wins over the factory. *)
+let portfolio ?(limits = Limits.default) ?interrupt ?observe attempts formula =
   let interrupt =
     match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
+  in
+  let config_of (a : attempt) =
+    match (a.config.ST.obs, observe) with
+    | Some _, _ | None, None -> a.config
+    | None, Some factory -> { a.config with ST.obs = Some (factory a.label) }
   in
   let overall =
     match limits.Limits.timeout_s with
@@ -258,7 +286,10 @@ let portfolio ?(limits = Limits.default) ?interrupt attempts formula =
             | None -> None
           in
           let attempt_limits = { limits with Limits.timeout_s = budget } in
-          let r = solve ~limits:attempt_limits ~interrupt ~config:a.config formula in
+          let r =
+            solve ~limits:attempt_limits ~interrupt ~config:(config_of a)
+              formula
+          in
           let acc = (a.label, r) :: acc in
           if r.outcome <> ST.Unknown then (r.outcome, List.rev acc)
           else go acc rest

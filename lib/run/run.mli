@@ -45,6 +45,11 @@ type report = {
   time : float;  (** seconds, measured by the limits' clock *)
   stats : ST.stats;  (** complete even when stopped early *)
   stopped : stop_reason option;  (** [None] iff the outcome is conclusive *)
+  metrics : Qbf_obs.Metrics.snapshot option;
+      (** metrics-registry snapshot, when [config.obs] carried a
+          collector with metrics enabled; present on every exit path *)
+  profile : Qbf_obs.Profile.snapshot option;
+      (** phase-profile snapshot under the same condition *)
 }
 
 val solve :
@@ -80,10 +85,14 @@ type portfolio_report = {
 val portfolio :
   ?limits:Limits.t ->
   ?interrupt:Limits.Interrupt.t ->
+  ?observe:(string -> Qbf_obs.Obs.t) ->
   attempt list ->
   Qbf_core.Formula.t ->
   portfolio_report
 (** Run [attempts] in order, returning on the first conclusive outcome.
     Per-attempt budgets are clipped to the remaining overall
     [limits.timeout_s]; an interrupt or an expired overall deadline
-    stops the ladder between attempts. *)
+    stops the ladder between attempts.  [observe label] supplies each
+    attempt with a fresh observability collector, so every per-attempt
+    {!report} carries its own metrics snapshot and phase profile; an
+    [obs] already present in an attempt's config takes precedence. *)

@@ -18,6 +18,27 @@
 
 open Solver_types
 module S = State
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Trace = Qbf_obs.Trace
+
+(* Guarded emits for a learning-driven backjump: the learned constraint
+   (clause or cube, arg = its size) and the jump itself (arg = target
+   level).  [from_level] is the level before the backtrack. *)
+let note_learn s ~cube ~size ~from_level ~to_level =
+  let o = s.S.obs in
+  if o.Obs.metrics_on then begin
+    (if cube then Metrics.on_learn_cube o.Obs.metrics ~size
+     else Metrics.on_learn_clause o.Obs.metrics ~size);
+    Metrics.on_backjump o.Obs.metrics ~from_level ~to_level
+  end;
+  if o.Obs.trace_on then begin
+    Trace.emit o.Obs.trace
+      (if cube then Trace.Learn_cube else Trace.Learn_clause)
+      ~dlevel:to_level ~plevel:0 ~arg:size;
+    Trace.emit o.Obs.trace Trace.Backjump ~dlevel:from_level ~plevel:0
+      ~arg:to_level
+  end
 
 type conclusion =
   | Concluded of outcome
@@ -152,10 +173,13 @@ let analyze_conflict s cid0 =
           if ok_levels && ok_scope then begin
             let beta = max_level_of_others s w e in
             let lits = Array.of_list (sorted_lits w) in
+            let from_level = S.current_level s in
             S.backtrack s beta;
             let _cid = S.add_constraint s Clause_c ~learned:true lits in
             s.S.stats.learned_clauses <- s.S.stats.learned_clauses + 1;
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
+            note_learn s ~cube:false ~size:(Array.length lits) ~from_level
+              ~to_level:beta;
             `Learned
           end
           else
@@ -317,10 +341,13 @@ let analyze_solution s source =
           if ok_levels && ok_scope then begin
             let beta = max_level_of_others s w u in
             let lits = Array.of_list (sorted_lits w) in
+            let from_level = S.current_level s in
             S.backtrack s beta;
             let _cid = S.add_constraint s Cube_c ~learned:true lits in
             s.S.stats.learned_cubes <- s.S.stats.learned_cubes + 1;
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
+            note_learn s ~cube:true ~size:(Array.length lits) ~from_level
+              ~to_level:beta;
             `Learned
           end
           else

@@ -5,6 +5,10 @@
 
 open Solver_types
 module S = State
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Trace = Qbf_obs.Trace
+module Profile = Qbf_obs.Profile
 
 let leaves s = s.S.stats.conflicts + s.S.stats.solutions
 
@@ -81,6 +85,7 @@ let reduce_db s =
   end
 
 let solve_state s =
+  let o = s.S.obs in
   let restart_idx = ref 1 in
   let leaves_at_restart = ref 0 in
   let maybe_restart () =
@@ -93,7 +98,11 @@ let solve_state s =
       S.backtrack s 0;
       incr restart_idx;
       leaves_at_restart := leaves s;
-      s.S.stats.restarts_done <- s.S.stats.restarts_done + 1
+      s.S.stats.restarts_done <- s.S.stats.restarts_done + 1;
+      if o.Obs.metrics_on then Metrics.on_restart o.Obs.metrics;
+      if o.Obs.trace_on then
+        Trace.emit o.Obs.trace Trace.Restart ~dlevel:0 ~plevel:0
+          ~arg:s.S.stats.restarts_done
     end
   in
   let maybe_rescale () =
@@ -101,17 +110,33 @@ let solve_state s =
     if n > 0 && n mod s.S.config.rescale_interval = 0 then
       S.rescale_activities s
   in
+  (* Phase spans are opened and closed inline under the profile flag so
+     the disabled path stays closure- and allocation-free. *)
   let rec loop () =
-    match Propagate.run s with
+    let propagated =
+      if o.Obs.profile_on then begin
+        Profile.enter o.Obs.profile Profile.Propagate;
+        let r = Propagate.run s in
+        Profile.leave o.Obs.profile Profile.Propagate;
+        r
+      end
+      else Propagate.run s
+    in
+    match propagated with
     | Propagate.P_conflict cid -> on_conflict cid
     | Propagate.P_solution src ->
         s.S.stats.solutions <- s.S.stats.solutions + 1;
+        if o.Obs.metrics_on then Metrics.on_solution o.Obs.metrics;
+        if o.Obs.trace_on then
+          Trace.emit o.Obs.trace Trace.Solution
+            ~dlevel:(S.current_level s) ~plevel:0
+            ~arg:(match src with Propagate.Cover -> -1 | Propagate.Cube c -> c);
         S.event s E_solution_leaf;
         maybe_rescale ();
-        continue_with (Analyze.handle_solution s src)
+        continue_with (analyzed_solution src)
     | Propagate.P_none ->
         if budget_exhausted s then Unknown
-        else if Heuristic.decide s then loop ()
+        else if decided () then loop ()
         else begin
           (* Every variable assigned but neither a solution nor a conflict
              was flagged: a conflict must have been hidden by a cleared
@@ -120,11 +145,40 @@ let solve_state s =
           | Some cid -> on_conflict cid
           | None -> assert false
         end
+  and decided () =
+    if o.Obs.profile_on then begin
+      Profile.enter o.Obs.profile Profile.Heuristic;
+      let r = Heuristic.decide s in
+      Profile.leave o.Obs.profile Profile.Heuristic;
+      r
+    end
+    else Heuristic.decide s
+  and analyzed_solution src =
+    if o.Obs.profile_on then begin
+      Profile.enter o.Obs.profile Profile.Analyze;
+      let r = Analyze.handle_solution s src in
+      Profile.leave o.Obs.profile Profile.Analyze;
+      r
+    end
+    else Analyze.handle_solution s src
   and on_conflict cid =
     s.S.stats.conflicts <- s.S.stats.conflicts + 1;
+    if o.Obs.metrics_on then Metrics.on_conflict o.Obs.metrics;
+    if o.Obs.trace_on then
+      Trace.emit o.Obs.trace Trace.Conflict ~dlevel:(S.current_level s)
+        ~plevel:0 ~arg:cid;
     S.event s E_conflict_leaf;
     maybe_rescale ();
-    continue_with (Analyze.handle_conflict s cid)
+    let concluded =
+      if o.Obs.profile_on then begin
+        Profile.enter o.Obs.profile Profile.Analyze;
+        let r = Analyze.handle_conflict s cid in
+        Profile.leave o.Obs.profile Profile.Analyze;
+        r
+      end
+      else Analyze.handle_conflict s cid
+    in
+    continue_with concluded
   and continue_with = function
     | Analyze.Concluded o -> o
     | Analyze.Continue ->
@@ -138,14 +192,23 @@ let solve_state s =
           loop ()
         end
   in
+  if o.Obs.profile_on then Profile.enter o.Obs.profile Profile.Solve;
   let outcome = loop () in
+  if o.Obs.profile_on then Profile.leave o.Obs.profile Profile.Solve;
+  Obs.flush o;
   { outcome; stats = s.S.stats }
 
 (* Solve a QBF.  The formula is lightly preprocessed: tautological
    clauses dropped (done by State), which is enough for the engine's
    invariants. *)
 let solve ?(config = default_config) formula =
-  let s = S.create formula config in
+  let s =
+    match config.obs with
+    | Some o when o.Obs.profile_on ->
+        Profile.span o.Obs.profile Profile.Build (fun () ->
+            S.create formula config)
+    | _ -> S.create formula config
+  in
   solve_state s
 
 (* Expose state creation for tools that want to inspect the final state

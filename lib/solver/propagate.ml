@@ -6,8 +6,27 @@
 
 open Solver_types
 module S = State
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Trace = Qbf_obs.Trace
 
 type source = Cover | Cube of int
+
+(* One guarded emit per unit/pure assignment; [l] is the literal made
+   true. *)
+let note_propagation s l =
+  let o = s.S.obs in
+  if o.Obs.metrics_on then Metrics.on_propagation o.Obs.metrics;
+  if o.Obs.trace_on then
+    Trace.emit o.Obs.trace Trace.Propagation ~dlevel:(S.current_level s)
+      ~plevel:s.S.plevel.(S.var l) ~arg:l
+
+let note_pure s l =
+  let o = s.S.obs in
+  if o.Obs.metrics_on then Metrics.on_pure o.Obs.metrics;
+  if o.Obs.trace_on then
+    Trace.emit o.Obs.trace Trace.Pure ~dlevel:(S.current_level s)
+      ~plevel:s.S.plevel.(S.var l) ~arg:l
 
 type outcome =
   | P_conflict of int (* id of a falsified clause *)
@@ -58,6 +77,7 @@ let try_unit_clause s cid c =
   if blocked then false
   else begin
     s.S.stats.propagations <- s.S.stats.propagations + 1;
+    note_propagation s le;
     S.event s (E_propagate le);
     S.assign s le (Reason cid);
     true
@@ -85,6 +105,7 @@ let try_unit_cube s cid c =
   if blocked then false
   else begin
     s.S.stats.propagations <- s.S.stats.propagations + 1;
+    note_propagation s (S.neg lu);
     S.event s (E_propagate (S.neg lu));
     S.assign s (S.neg lu) (Reason cid);
     true
@@ -109,6 +130,7 @@ let pop_unit s =
 
 let assign_pure s l =
   s.S.stats.pure_assignments <- s.S.stats.pure_assignments + 1;
+  note_pure s l;
   S.event s (E_propagate l);
   S.assign s l Pure
 

@@ -97,6 +97,11 @@ type config = {
       (* periodically drop the oldest unlocked learned constraints when
          the learned database outgrows the original matrix *)
   on_event : (event -> unit) option;
+  obs : Qbf_obs.Obs.t option;
+      (* observability collector (metrics registry, trace emitter, phase
+         profiler).  [None] installs the shared all-off collector: every
+         instrumentation site then costs one flag load and one untaken
+         branch, so the search path is unchanged in practice *)
   aux_hint : (int -> bool) option;
       (* marks auxiliary (CNF-conversion) variables; solution analysis
          may then cover clauses with *virtually flipped* auxiliary
@@ -119,6 +124,7 @@ let default_config =
     restart_base = 128;
     db_reduction = false;
     on_event = None;
+    obs = None;
     aux_hint = None;
   }
 

@@ -18,6 +18,9 @@
 
 open Qbf_core
 open Solver_types
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Trace = Qbf_obs.Trace
 
 let var l = l lsr 1
 let neg l = l lxor 1
@@ -43,6 +46,8 @@ type t = {
   block_unassigned : int array;
   d : int array; (* prefix timestamps, cached from Prefix *)
   f : int array;
+  plevel : int array; (* per var: prefix level, cached for emit sites *)
+  obs : Obs.t; (* observability collector; Obs.none when disabled *)
   pos_unsat : int array; (* per literal: active unsatisfied clauses *)
   counter : int array; (* per literal: active constraints containing it *)
   act : float array; (* per literal: decayed activity *)
@@ -207,6 +212,13 @@ let new_decision s l ~flipped =
   s.stats.decisions <- s.stats.decisions + 1;
   if current_level s > s.stats.max_decision_level then
     s.stats.max_decision_level <- current_level s;
+  let o = s.obs in
+  if o.Obs.metrics_on then
+    Metrics.on_decision o.Obs.metrics ~plevel:s.plevel.(var l)
+      ~dlevel:(current_level s);
+  if o.Obs.trace_on then
+    Trace.emit o.Obs.trace Trace.Decision ~dlevel:(current_level s)
+      ~plevel:s.plevel.(var l) ~arg:l;
   event s (if flipped then E_flip l else E_decide l);
   assign s l (if flipped then Flipped else Decision)
 
@@ -289,6 +301,9 @@ let create formula config =
             else 0);
       d = Array.init n (fun v -> if v < nvars then Prefix.discovery prefix v else 0);
       f = Array.init n (fun v -> if v < nvars then Prefix.finish prefix v else 0);
+      plevel =
+        Array.init n (fun v -> if v < nvars then Prefix.level prefix v else 0);
+      obs = (match config.obs with Some o -> o | None -> Obs.none);
       pos_unsat = Array.make (2 * n) 0;
       counter = Array.make (2 * n) 0;
       act = Array.make (2 * n) 0.;
@@ -366,7 +381,12 @@ let deactivate_constraint s cid =
           if s.pos_unsat.(m) = 0 && s.config.pure_literals then
             Vec.push s.pure_q m)
         c.lits;
-    s.stats.deleted_constraints <- s.stats.deleted_constraints + 1
+    s.stats.deleted_constraints <- s.stats.deleted_constraints + 1;
+    let o = s.obs in
+    if o.Obs.metrics_on then Metrics.on_delete o.Obs.metrics;
+    if o.Obs.trace_on then
+      Trace.emit o.Obs.trace Trace.Delete ~dlevel:(current_level s)
+        ~plevel:0 ~arg:cid
   end
 
 (* Periodic activity update (Section VI): halve and add the variation of

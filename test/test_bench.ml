@@ -8,7 +8,15 @@ let fake_run ?(outcome = ST.True) time =
   let stopped =
     if outcome = ST.Unknown then Some Qbf_run.Run.Timeout else None
   in
-  { B.outcome; time; nodes = 0; stats = ST.empty_stats (); stopped }
+  {
+    B.outcome;
+    time;
+    nodes = 0;
+    stats = ST.empty_stats ();
+    stopped;
+    metrics = None;
+    profile = None;
+  }
 
 let timeout_run = fake_run ~outcome:ST.Unknown 1.
 

@@ -10,4 +10,5 @@ let () =
       ("gen", Test_gen.suite);
       ("models", Test_models.suite);
       ("bench", Test_bench.suite);
+      ("obs", Test_obs.suite);
     ]

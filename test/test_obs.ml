@@ -1,0 +1,273 @@
+(* Observability-layer tests (Qbf_obs): metrics invariants against real
+   solver runs, ring wraparound and sampling determinism with injected
+   clocks, JSONL round-trips, and the exact event-count/stats contract
+   the trace emitter promises. *)
+
+module ST = Qbf_solver.Solver_types
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Trace = Qbf_obs.Trace
+module Profile = Qbf_obs.Profile
+module Json = Qbf_obs.Json
+
+(* A deterministic clock: every read advances by [step]. *)
+let fake_clock ?(step = 0.5) () =
+  let t = ref 0. in
+  fun () ->
+    let v = !t in
+    t := v +. step;
+    v
+
+let counter s name =
+  match List.assoc_opt name s.Metrics.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "missing counter %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer + sampling                                              *)
+
+let test_ring_wraparound () =
+  let tr = Trace.create ~capacity:8 ~clock:(fake_clock ()) () in
+  for i = 0 to 19 do
+    Trace.emit tr Trace.Decision ~dlevel:i ~plevel:0 ~arg:i
+  done;
+  Alcotest.(check int) "offered" 20 (Trace.offered tr);
+  Alcotest.(check int) "recorded" 20 (Trace.recorded tr);
+  Alcotest.(check int) "dropped" 12 (Trace.dropped tr);
+  let evs = Trace.to_list tr in
+  Alcotest.(check int) "kept" 8 (List.length evs);
+  (* flight-recorder mode keeps the *latest* events *)
+  Alcotest.(check (list int)) "latest seqs"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Trace.seq) evs)
+
+let test_sampling_determinism () =
+  let run () =
+    let tr = Trace.create ~capacity:64 ~every:3 ~clock:(fake_clock ()) () in
+    List.iter
+      (fun k -> Trace.emit tr k ~dlevel:1 ~plevel:2 ~arg:7)
+      (List.concat (List.init 4 (fun _ -> Trace.all_kinds)));
+    Trace.to_list tr
+  in
+  let a = run () and b = run () in
+  (* same event sequence + same injected clock => identical traces *)
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check int) "offered 40 -> recorded 14" 14 (List.length a);
+  Alcotest.(check (list int)) "every 3rd offered seq"
+    (List.init 14 (fun i -> 3 * i))
+    (List.map (fun e -> e.Trace.seq) a)
+
+let test_sink_flush_lossless () =
+  let lines = ref [] in
+  let tr =
+    Trace.create ~capacity:4 ~clock:(fake_clock ())
+      ~sink:(fun l -> lines := l :: !lines)
+      ()
+  in
+  for i = 0 to 9 do
+    Trace.emit tr Trace.Propagation ~dlevel:0 ~plevel:1 ~arg:i
+  done;
+  Trace.flush tr;
+  Alcotest.(check int) "no drops with a sink" 0 (Trace.dropped tr);
+  let evs =
+    List.rev_map
+      (fun l ->
+        match Trace.parse_line l with
+        | Ok e -> e
+        | Error m -> Alcotest.failf "sink line does not parse: %s" m)
+      !lines
+  in
+  Alcotest.(check (list int)) "all events, in order"
+    (List.init 10 Fun.id)
+    (List.map (fun e -> e.Trace.seq) evs)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip + schema validation                                *)
+
+let test_jsonl_roundtrip () =
+  List.iteri
+    (fun i kind ->
+      let e =
+        {
+          Trace.seq = 100 + i;
+          t = 0.125 *. float_of_int i;
+          kind;
+          dlevel = i;
+          plevel = i mod 3;
+          arg = -1 + i;
+        }
+      in
+      match Trace.parse_line (Trace.event_to_line e) with
+      | Ok e' -> Alcotest.(check bool) "round-trip" true (e = e')
+      | Error m -> Alcotest.failf "round-trip failed: %s" m)
+    Trace.all_kinds
+
+let test_parse_line_rejects () =
+  let bad =
+    [
+      "not json at all";
+      "{\"v\":2,\"seq\":0,\"t\":0.0,\"kind\":\"decision\",\"dlevel\":0,\"plevel\":0,\"arg\":0}";
+      "{\"v\":1,\"seq\":0,\"t\":0.0,\"kind\":\"no-such-kind\",\"dlevel\":0,\"plevel\":0,\"arg\":0}";
+      "{\"v\":1,\"seq\":0,\"t\":0.0,\"kind\":\"decision\",\"plevel\":0,\"arg\":0}";
+      "{\"v\":1,\"seq\":\"zero\",\"t\":0.0,\"kind\":\"decision\",\"dlevel\":0,\"plevel\":0,\"arg\":0}";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Trace.parse_line line with
+      | Ok _ -> Alcotest.failf "accepted invalid line: %s" line
+      | Error _ -> ())
+    bad
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int (-3));
+        ("b", Json.Float 1.5);
+        ("c", Json.String "x\"y\\z\n");
+        ("d", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("e", Json.Obj [ ("nested", Json.Int 0) ]);
+      ]
+  in
+  match Json.of_string_res (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "json round-trip" true (j = j')
+  | Error m -> Alcotest.failf "json round-trip failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Phase profiler                                                      *)
+
+let test_profile_clocks () =
+  (* wall advances 1.0 per read, cpu 0.25: one enter/leave pair spans
+     exactly one read gap of each clock *)
+  let p =
+    Profile.create ~clock:(fake_clock ~step:1.0 ()) ~cpu:(fake_clock ~step:0.25 ()) ()
+  in
+  Profile.enter p Profile.Propagate;
+  Profile.leave p Profile.Propagate;
+  Profile.enter p Profile.Propagate;
+  Profile.leave p Profile.Propagate;
+  match Profile.snapshot p with
+  | [ sp ] ->
+      Alcotest.(check string) "phase" "propagate" sp.Profile.phase;
+      Alcotest.(check int) "calls" 2 sp.Profile.calls;
+      Alcotest.(check (float 1e-9)) "wall" 2.0 sp.Profile.wall_s;
+      Alcotest.(check (float 1e-9)) "cpu" 0.5 sp.Profile.cpu_s
+  | s -> Alcotest.failf "expected one span, got %d" (List.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Solver-run contracts                                                *)
+
+let formulas () =
+  List.map
+    (fun seed ->
+      let rng = Qbf_gen.Rng.create seed in
+      Qbf_gen.Randqbf.prenex rng ~nvars:16 ~levels:3 ~nclauses:48 ~len:3 ())
+    [ 11; 22; 33; 44 ]
+
+let observed_solve ?(restarts = false) f =
+  let metrics = Metrics.create () in
+  let trace = Trace.create ~capacity:(1 lsl 16) () in
+  let obs = Obs.make ~metrics ~trace () in
+  let config =
+    {
+      ST.default_config with
+      ST.learning = true;
+      ST.restarts;
+      ST.db_reduction = restarts;
+      ST.obs = Some obs;
+    }
+  in
+  let r = Qbf_solver.Engine.solve ~config f in
+  (r.ST.stats, Metrics.snapshot metrics, Trace.to_list trace)
+
+let test_metrics_invariants () =
+  List.iter
+    (fun f ->
+      let stats, s, _ = observed_solve f in
+      let c = counter s in
+      Alcotest.(check bool) "decisions >= backjumps" true
+        (c "decisions" >= c "backjumps");
+      Alcotest.(check int) "conflicts + solutions = leaves"
+        (ST.nodes stats)
+        (c "conflicts" + c "solutions");
+      (* the registry mirrors the engine's own stats exactly *)
+      Alcotest.(check int) "decisions" stats.ST.decisions (c "decisions");
+      Alcotest.(check int) "propagations" stats.ST.propagations
+        (c "propagations");
+      Alcotest.(check int) "pures" stats.ST.pure_assignments
+        (c "pure_assignments");
+      Alcotest.(check int) "conflicts" stats.ST.conflicts (c "conflicts");
+      Alcotest.(check int) "solutions" stats.ST.solutions (c "solutions");
+      Alcotest.(check int) "learned clauses" stats.ST.learned_clauses
+        (c "learned_clauses");
+      Alcotest.(check int) "learned cubes" stats.ST.learned_cubes
+        (c "learned_cubes");
+      Alcotest.(check int) "backjumps" stats.ST.backjumps (c "backjumps");
+      Alcotest.(check int) "restarts" stats.ST.restarts_done (c "restarts");
+      Alcotest.(check int) "deletes" stats.ST.deleted_constraints
+        (c "deleted_constraints"))
+    (formulas ())
+
+let test_trace_matches_stats () =
+  List.iter
+    (fun f ->
+      let stats, s, events = observed_solve ~restarts:true f in
+      let n k = List.assoc k (Trace.counts events) in
+      Alcotest.(check int) "decision events" stats.ST.decisions
+        (n Trace.Decision);
+      Alcotest.(check int) "propagation events" stats.ST.propagations
+        (n Trace.Propagation);
+      Alcotest.(check int) "pure events" stats.ST.pure_assignments
+        (n Trace.Pure);
+      Alcotest.(check int) "conflict events" stats.ST.conflicts
+        (n Trace.Conflict);
+      Alcotest.(check int) "solution events" stats.ST.solutions
+        (n Trace.Solution);
+      Alcotest.(check int) "learn-clause events" stats.ST.learned_clauses
+        (n Trace.Learn_clause);
+      Alcotest.(check int) "learn-cube events" stats.ST.learned_cubes
+        (n Trace.Learn_cube);
+      Alcotest.(check int) "backjump events" stats.ST.backjumps
+        (n Trace.Backjump);
+      Alcotest.(check int) "restart events" stats.ST.restarts_done
+        (n Trace.Restart);
+      Alcotest.(check int) "delete events" stats.ST.deleted_constraints
+        (n Trace.Delete);
+      (* the offline per-level histogram agrees with the registry's *)
+      Alcotest.(check (list int)) "per-level decisions"
+        s.Metrics.per_level_decisions
+        (Array.to_list (Trace.decision_levels events)))
+    (formulas ())
+
+let test_disabled_obs_is_inert () =
+  (* solving with no collector must behave identically (and not crash on
+     the shared Obs.none placeholders) *)
+  List.iter
+    (fun f ->
+      let r1 = Qbf_solver.Engine.solve ~config:ST.default_config f in
+      let stats, _, _ = observed_solve f in
+      let r2 =
+        Qbf_solver.Engine.solve
+          ~config:{ ST.default_config with ST.learning = true }
+          f
+      in
+      Alcotest.(check bool) "outcome agrees (no-learn vs observed)" true
+        (r1.ST.outcome = r2.ST.outcome);
+      Alcotest.(check int) "observed run = unobserved run (decisions)"
+        r2.ST.stats.ST.decisions stats.ST.decisions)
+    (formulas ())
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "sampling determinism" `Quick test_sampling_determinism;
+    Alcotest.test_case "sink flush lossless" `Quick test_sink_flush_lossless;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "parse_line rejects" `Quick test_parse_line_rejects;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "profile clocks" `Quick test_profile_clocks;
+    Alcotest.test_case "metrics invariants" `Quick test_metrics_invariants;
+    Alcotest.test_case "trace matches stats" `Quick test_trace_matches_stats;
+    Alcotest.test_case "disabled obs inert" `Quick test_disabled_obs_is_inert;
+  ]

@@ -1,0 +1,105 @@
+(* Offline trace summarizer for qube's --trace JSONL output.
+
+   Usage:
+     trace_stat.exe [--check] FILE...
+
+   Default mode prints, per file: event/kind counts, the per-prefix-level
+   decision histogram, a backjump-length summary, and the wall-clock
+   span of the trace.  [--check] only validates — every line must parse
+   against the v1 schema and seq numbers must be strictly increasing —
+   and exits nonzero on the first violation, which is what CI runs. *)
+
+module Trace = Qbf_obs.Trace
+
+let read_events file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line when String.trim line = "" -> go (lineno + 1) acc
+        | line -> (
+            match Trace.parse_line line with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error m -> Error (Printf.sprintf "%s:%d: %s" file lineno m))
+      in
+      go 1 [])
+
+let check_monotone file events =
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest ->
+        if e.Trace.seq <= last then
+          Error
+            (Printf.sprintf "%s: seq %d after %d (not strictly increasing)"
+               file e.Trace.seq last)
+        else go e.Trace.seq rest
+  in
+  go (-1) events
+
+let summarize file events =
+  Printf.printf "%s: %d events\n" file (List.length events);
+  (match events with
+  | [] -> ()
+  | first :: _ ->
+      let last = List.fold_left (fun _ e -> e) first events in
+      Printf.printf "  span: seq %d..%d, %.6f s\n" first.Trace.seq
+        last.Trace.seq
+        (last.Trace.t -. first.Trace.t));
+  Printf.printf "  by kind:\n";
+  List.iter
+    (fun (k, n) ->
+      if n > 0 then
+        Printf.printf "    %-17s %8d\n" (Trace.kind_to_string k) n)
+    (Trace.counts events);
+  let dl = Trace.decision_levels events in
+  if Array.exists (fun n -> n > 0) dl then begin
+    Printf.printf "  decisions by prefix level:\n";
+    Array.iteri
+      (fun lvl n -> if n > 0 then Printf.printf "    level %-3d %8d\n" lvl n)
+      dl
+  end;
+  let jumps =
+    List.filter_map
+      (fun e ->
+        if e.Trace.kind = Trace.Backjump then
+          (* dlevel = level the conflict/solution was analyzed at,
+             arg = target level after the jump *)
+          Some (max 0 (e.Trace.dlevel - e.Trace.arg))
+        else None)
+      events
+  in
+  if jumps <> [] then begin
+    let n = List.length jumps in
+    let total = List.fold_left ( + ) 0 jumps in
+    let mx = List.fold_left max 0 jumps in
+    Printf.printf "  backjumps: %d, mean length %.2f, max %d\n" n
+      (float_of_int total /. float_of_int n)
+      mx
+  end
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let check = List.mem "--check" args in
+  let files = List.filter (fun a -> a <> "--check") args in
+  if files = [] then begin
+    prerr_endline "usage: trace_stat [--check] FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      match Result.bind (read_events file) (fun evs ->
+                Result.map (fun () -> evs) (check_monotone file evs))
+      with
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          failed := true
+      | Ok events ->
+          if check then
+            Printf.printf "%s: OK (%d events)\n" file (List.length events)
+          else summarize file events)
+    files;
+  exit (if !failed then 1 else 0)
