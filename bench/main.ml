@@ -11,7 +11,12 @@
    (decisions, propagations, backjump lengths), not just seconds.
 
    Sections: table1-ncf table1-fpv table1-dia table1-eval
-             fig3 fig4 fig5 fig6 fig7 micro all (default: all)
+             fig3 fig4 fig5 fig6 fig7 dia-inc ablation micro
+             all (default: all)
+
+   The dia-inc section compares the incremental diameter session
+   against the per-bound rebuild and (with --json) writes the
+   BENCH_dia.json artifact.
 
    Absolute run times differ from the paper's 2006 testbed; the shapes
    (who wins, by what factor, how scaling behaves) are the reproduction
@@ -275,6 +280,60 @@ let fig7 o =
   let results = List.map (B.run_instance budget) (prob @ fixed) in
   scatter_of_results ~label:"PROB+FIXED" o results
 
+(* ---------- incremental DIA ---------------------------------------------- *)
+
+(* Incremental sessions vs per-bound rebuild on the diameter iteration:
+   the evidence behind `qdiameter --incremental` (ISSUE: the session
+   must save >= 1.3x decisions or wall time on the counter family).
+   Runs the paper's PO style, where the session carry-over pays off. *)
+let dia_inc o =
+  section "Incremental vs rebuild: the DIA diameter iteration (PO)";
+  let models =
+    List.map Qbf_models.Families.by_name
+      (if o.full then
+         [
+           "counter2"; "counter3"; "counter4"; "ring3"; "ring4";
+           "semaphore2"; "semaphore3"; "dme2"; "dme3"; "shift4";
+         ]
+       else
+         [ "counter2"; "counter3"; "counter4"; "ring4"; "semaphore2"; "dme3" ])
+  in
+  let timeout_s = Float.max 60. (o.timeout *. 20.) in
+  let results =
+    List.map
+      (fun m ->
+        let r =
+          Qbf_bench.Dia_inc.run ~timeout_s ~style:Qbf_models.Diameter.Nonprenex
+            m
+        in
+        Printf.printf "%s: done (inc %.2fs, rebuild %.2fs)\n%!"
+          (Qbf_models.Model.name m) r.Qbf_bench.Dia_inc.inc
+            .Qbf_bench.Dia_inc.time_s
+          r.Qbf_bench.Dia_inc.rebuild.Qbf_bench.Dia_inc.time_s;
+        r)
+      models
+  in
+  print_endline
+    (Rep.render_table Qbf_bench.Dia_inc.header
+       (List.map Qbf_bench.Dia_inc.row_cells results));
+  (* modes must agree: a disagreement is a bug, not a data point *)
+  List.iter
+    (fun (r : Qbf_bench.Dia_inc.result) ->
+      let d m = m.Qbf_bench.Dia_inc.report.Qbf_models.Diameter.diameter in
+      if
+        d r.Qbf_bench.Dia_inc.inc <> d r.Qbf_bench.Dia_inc.rebuild
+        && d r.Qbf_bench.Dia_inc.inc <> None
+        && d r.Qbf_bench.Dia_inc.rebuild <> None
+      then
+        Printf.printf "WARNING: %s: incremental and rebuild disagree!\n"
+          r.Qbf_bench.Dia_inc.model)
+    results;
+  match o.json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Qbf_bench.Dia_inc.write_json ~dir results in
+      Printf.printf "wrote %s (%d models)\n%!" file (List.length results)
+
 (* ---------- ablation ----------------------------------------------------- *)
 
 (* Which engine ingredients carry the DIA behaviour: learning, pures,
@@ -404,6 +463,7 @@ let () =
   if want "fig5" then fig5 o;
   if want "fig6" then fig6 o;
   if want "fig7" then fig7 o;
+  if want "dia-inc" then dia_inc o;
   if want "ablation" then ablation o;
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

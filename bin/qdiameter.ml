@@ -1,12 +1,16 @@
 (* qdiameter: state-space diameter via the QBFs of Section VII-C.
 
      qdiameter MODEL [--style po|to] [--max-n N] [--timeout S] [--bfs]
-               [--profile]
+               [--profile] [--no-incremental]
 
    MODEL is counter<N>, ring<N>, semaphore<N>, dme<N>, or a path to an
    .smv file in the small NuSMV-like language of Qbf_models.Smv.
-   Iterates phi_n until false; --bfs cross-checks against the
-   explicit-state oracle (small models only). *)
+   Iterates phi_n until false; by default one incremental solving
+   session carries learned clauses and activities across bounds
+   (--no-incremental re-encodes every phi_n from scratch).  When the
+   iteration ends inconclusively the proven lower bound is reported.
+   --bfs cross-checks against the explicit-state oracle (small models
+   only). *)
 
 open Cmdliner
 module ST = Qbf_solver.Solver_types
@@ -14,7 +18,7 @@ module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Profile = Qbf_obs.Profile
 
-let run model_name style max_n timeout bfs verbose profile_on =
+let run model_name style max_n timeout bfs verbose profile_on incremental =
   let model =
     if Filename.check_suffix model_name ".smv" then
       Qbf_models.Smv.parse_file model_name
@@ -55,41 +59,40 @@ let run model_name style max_n timeout bfs verbose profile_on =
     }
   in
   let t0 = Unix.gettimeofday () in
-  (if verbose then
-     let rec go n =
-       if n > max_n then ()
-       else begin
-         let lay = Qbf_models.Diameter.build model ~n in
-         let f =
-           match style with
-           | Qbf_models.Diameter.Nonprenex -> lay.Qbf_models.Diameter.formula
-           | Qbf_models.Diameter.Prenex ->
-               Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up
-                 lay.Qbf_models.Diameter.formula
-         in
-         let t = Unix.gettimeofday () in
-         let r =
-           Qbf_solver.Engine.solve
-             ~config:(Qbf_models.Diameter.config_for ~config lay)
-             f
-         in
-         Printf.printf "phi_%-3d %s  (%.3fs, %d vars)\n%!" n
-           (match r.ST.outcome with
-           | ST.True -> "true "
-           | ST.False -> "false"
-           | ST.Unknown -> "?    ")
-           (Unix.gettimeofday () -. t)
-           (Qbf_core.Formula.nvars f);
-         match r.ST.outcome with ST.True -> go (n + 1) | _ -> ()
-       end
-     in
-     go 0);
-  (match Qbf_models.Diameter.compute ~config ~style ~max_n model with
+  let last = ref t0 in
+  let on_bound (b : Qbf_models.Diameter.bound_stat) =
+    if verbose then begin
+      let now = Unix.gettimeofday () in
+      Printf.printf "phi_%-3d %s  (%.3fs, %d vars, %d decisions%s)\n%!"
+        b.Qbf_models.Diameter.bound
+        (match b.Qbf_models.Diameter.outcome with
+        | ST.True -> "true "
+        | ST.False -> "false"
+        | ST.Unknown -> "?    ")
+        (now -. !last) b.Qbf_models.Diameter.nvars
+        b.Qbf_models.Diameter.stats.ST.decisions
+        (if b.Qbf_models.Diameter.carried_clauses > 0 then
+           Printf.sprintf ", %d carried"
+             b.Qbf_models.Diameter.carried_clauses
+         else "");
+      last := now
+    end
+  in
+  let mode = if incremental then `Incremental else `Rebuild in
+  let report =
+    Qbf_models.Diameter.compute_report ~config ~style ~max_n ~mode ~on_bound
+      model
+  in
+  (match report.Qbf_models.Diameter.diameter with
   | Some d ->
       Printf.printf "%s: diameter %d (%.3fs)\n" model_name d
         (Unix.gettimeofday () -. t0)
   | None ->
-      Printf.printf "%s: not determined within budget\n" model_name);
+      Printf.printf "%s: diameter >= %d (stopped: %s, %.3fs)\n" model_name
+        report.Qbf_models.Diameter.lower_bound
+        (Qbf_models.Diameter.string_of_stop
+           report.Qbf_models.Diameter.stop)
+        (Unix.gettimeofday () -. t0));
   (match obs with
   | Some o when o.Obs.profile_on ->
       let m = Metrics.snapshot o.Obs.metrics in
@@ -122,6 +125,18 @@ let cmd =
       $ (value & flag & Arg.info [ "verbose" ] ~doc:"Print each phi_n result.")
       $ (value & flag
          & Arg.info [ "profile" ]
-             ~doc:"Report solver phase timings aggregated over all lengths."))
+             ~doc:"Report solver phase timings aggregated over all lengths.")
+      $ (value
+         & vflag true
+             [
+               ( true,
+                 Arg.info [ "incremental" ]
+                   ~doc:
+                     "Carry learned clauses and heuristic state across \
+                      bounds in one solving session (default)." );
+               ( false,
+                 Arg.info [ "no-incremental" ]
+                   ~doc:"Re-encode and solve every phi_n from scratch." );
+             ]))
 
 let () = exit (Cmd.eval cmd)

@@ -55,7 +55,13 @@ exception Too_large
 
 let eval ?(max_vars = 26) formula =
   let prefix = Formula.prefix formula in
-  let matrix = Formula.matrix formula in
+  (* A tautological clause is satisfied under every assignment; keeping
+     it would fool [residual_status] into declaring it contradictory
+     when its remaining unassigned variables are all universal (the
+     Lemma 4 test presumes tautology-free clauses). *)
+  let matrix =
+    List.filter (fun c -> not (Clause.is_tautology c)) (Formula.matrix formula)
+  in
   if Formula.nvars formula > max_vars then raise Too_large;
   let asg = Array.make (max (Formula.nvars formula) 1) None in
   let rec go () =

@@ -123,13 +123,253 @@ let config_for ?(config = Qbf_solver.Solver_types.default_config) lay =
     Qbf_solver.Solver_types.aux_hint = Some (fun v -> v >= lay.first_aux);
   }
 
-(* Iterate phi_n for n = 0, 1, ... until it turns false: that n is the
-   diameter (phi_n is true iff n < d).  [None] when the solver budget
-   runs out or [max_n] is exceeded. *)
-let compute ?(config = Qbf_solver.Solver_types.default_config)
-    ?(style = Nonprenex) ?(max_n = 64) model =
-  let rec go n =
-    if n > max_n then None
+(* ------------------------------------------------------------------ *)
+(* The diameter iteration, reported per bound.
+
+   [compute_report] runs phi_0, phi_1, ... until one turns false and
+   says how far it got and what each bound cost; [`Rebuild] encodes
+   every phi_n from scratch (the historical behaviour), [`Incremental]
+   keeps one solving session across bounds (below). *)
+
+module ST = Qbf_solver.Solver_types
+module Sess = Qbf_solver.Session
+
+type stop = Complete | Bound_exceeded | Solver_stopped
+
+type bound_stat = {
+  bound : int;
+  outcome : ST.outcome;
+  stats : ST.stats; (* this bound's solver work only (a delta) *)
+  nvars : int; (* QBF variables in play at this bound *)
+  carried_clauses : int; (* learned clauses alive entering the bound;
+                            0 in rebuild mode *)
+}
+
+type report = {
+  diameter : int option; (* Some d iff stop = Complete *)
+  lower_bound : int; (* phi_n proved true for all n < lower_bound,
+                        so the diameter is >= lower_bound *)
+  stop : stop;
+  per_bound : bound_stat list; (* ascending bound order *)
+}
+
+let string_of_stop = function
+  | Complete -> "complete"
+  | Bound_exceeded -> "max-n exceeded"
+  | Solver_stopped -> "solver budget"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions: the goal-register encoding.
+
+   Re-encoding phi_{n+1} from scratch discards everything phi_n taught
+   the solver, yet the two formulas share the entire chain structure.
+   The session encoder pins the top existential to a goal register g
+   that never moves:
+
+     phi_n = ∃g ( ∃x^0..x^{n+1}: I(x^0) ∧ ⋀_{i<=n} T'(x^i,x^{i+1})
+                                 ∧ g ≡ x^{n+1}
+                ∧ ∀y^0..y^n ¬(I(y^0) ∧ ⋀_{j<n} T'(y^j,y^{j+1})
+                              ∧ g ≡ y^n) )
+
+   — eq. (14) with x^{n+1} read through g, so the quantifier forest
+   only ever grows: g's block is fixed, the x-chain block, the
+   universal block and the gate block gain variables monotonically,
+   and the growth contract of {!Qbf_solver.Session} (order preserved
+   on existing pairs) holds by construction.
+
+   Everything except the binding g ≡ x^{n+1} and the top disjunction
+   of the negated part is monotone in n, so a bound step is
+
+     pop                 — retract the previous binding and top clause,
+                           and exactly the learned constraints that
+                           depended on them (frame tags);
+     extend at frame 0   — one x copy, one y copy, one T' step, the
+                           ¬T'(y^n,y^{n+1}) gate and the g⊕y deviation
+                           gates, all permanent;
+     push + bind + solve — 2·bits binding clauses and one top clause.
+
+   Learned clauses derived from the permanent part survive every bound
+   (their universal reductions stay sound — Lemma 3 — because ≺ is
+   preserved), as do literal activities; learned cubes are invalidated
+   by the matrix growth, as they must be.  Gates serving an earlier
+   bound's top clause lose their only positive occurrence at the pop
+   and are silenced by the pure-literal rule. *)
+
+type inc = {
+  model : Model.t;
+  bits : int;
+  sess : Sess.t;
+  xb : Sess.block; (* forward chain: x copies + its conversion gates *)
+  yb : Sess.block; (* universal state copies *)
+  ab : Sess.block; (* conversion gates of the negated part *)
+  g : int; (* goal register: variables g .. g+bits-1 *)
+  fwd : Tseitin.ctx;
+  neg : Tseitin.ctx;
+  d_i : Qbf_core.Lit.t; (* gate of ¬I(y^0), shared by every bound *)
+  mutable d_ts_rev : Qbf_core.Lit.t list; (* ¬T'(y^j,y^{j+1}) gates,
+                                             newest first *)
+  mutable x_last : int; (* base of the newest x copy *)
+  mutable y_last : int;
+}
+
+(* Substitute a state copy (or a pair of adjacent copies) into a model
+   expression; model variable i is bit i, bits+i the next-state bit. *)
+let subst1 base e = Bexpr.map_vars (fun v -> base + v) e
+
+let subst2 bits b b' e =
+  Bexpr.map_vars (fun v -> if v < bits then b + v else b' + (v - bits)) e
+
+let inc_create ?(config = ST.default_config) ?validate ~style model =
+  let bits = Model.bits model in
+  (* The conversion-gate set grows with the session; hint through a
+     table filled as gates are allocated (cf. [config_for]). *)
+  let aux = Hashtbl.create 64 in
+  let config =
+    { config with ST.aux_hint = Some (fun v -> Hashtbl.mem aux v) }
+  in
+  let sess = Sess.create ~config ?validate () in
+  (* Nonprenex: the tree of prefix (18) with g in the x^{n+1} role —
+     root ∃g over the x-chain branch and the ∀y branch.  Prenex: the
+     chain of prefix (19).  Both shapes are stable under growth: no
+     block ever gains a sibling that would un-merge a normalised
+     same-quantifier chain. *)
+  let root = Sess.new_block sess Qbf_core.Quant.Exists in
+  let g = Sess.new_vars sess root bits in
+  let xb, yb =
+    match style with
+    | Nonprenex ->
+        ( Sess.new_block sess ~parent:root Qbf_core.Quant.Exists,
+          Sess.new_block sess ~parent:root Qbf_core.Quant.Forall )
+    | Prenex ->
+        let xb = Sess.new_block sess ~parent:root Qbf_core.Quant.Exists in
+        (xb, Sess.new_block sess ~parent:xb Qbf_core.Quant.Forall)
+  in
+  let ab = Sess.new_block sess ~parent:yb Qbf_core.Quant.Exists in
+  let fresh_into block () =
+    let v = Sess.new_vars sess block 1 in
+    Hashtbl.replace aux v ();
+    v
+  in
+  let emit lits = Sess.add_clause sess lits in
+  let fwd =
+    Tseitin.create ~fresh:(fresh_into xb) ~emit ~env:Qbf_core.Lit.of_var
+  in
+  let neg =
+    Tseitin.create ~fresh:(fresh_into ab) ~emit ~env:Qbf_core.Lit.of_var
+  in
+  (* Permanent base of phi_0: I(x^0), T'(x^0,x^1) and the ¬I(y^0)
+     gate.  Everything emitted here is at frame 0 — only [inc_bind]
+     adds clauses inside a frame. *)
+  let x0 = Sess.new_vars sess xb bits in
+  let x1 = Sess.new_vars sess xb bits in
+  let y0 = Sess.new_vars sess yb bits in
+  Tseitin.assert_true fwd (subst1 x0 (Model.init model));
+  Tseitin.assert_true fwd (subst2 bits x0 x1 (Model.trans' model));
+  let d_i =
+    Tseitin.compile neg `Pos
+      (Bexpr.nnf (Bexpr.not_ (subst1 y0 (Model.init model))))
+  in
+  {
+    model;
+    bits;
+    sess;
+    xb;
+    yb;
+    ab;
+    g;
+    fwd;
+    neg;
+    d_i;
+    d_ts_rev = [];
+    x_last = x1;
+    y_last = y0;
+  }
+
+(* Extend the permanent chains by one copy each: x^{n+2} with its T'
+   step, y^{n+1} with its ¬T' gate.  Frame 0 only. *)
+let inc_advance t =
+  let x_new = Sess.new_vars t.sess t.xb t.bits in
+  let y_new = Sess.new_vars t.sess t.yb t.bits in
+  Tseitin.assert_true t.fwd
+    (subst2 t.bits t.x_last x_new (Model.trans' t.model));
+  let d_t =
+    Tseitin.compile t.neg `Pos
+      (Bexpr.nnf
+         (Bexpr.not_ (subst2 t.bits t.y_last y_new (Model.trans' t.model))))
+  in
+  t.d_ts_rev <- d_t :: t.d_ts_rev;
+  t.x_last <- x_new;
+  t.y_last <- y_new
+
+(* Open the bound's frame: bind g to the chain tip and assert the
+   negated part's top disjunction over the gate literals. *)
+let inc_bind t =
+  let open Qbf_core in
+  (* The g⊕y^n deviation gates must exist before the frame opens: their
+     definitions are permanent, only the top clause referencing them is
+     frame-local. *)
+  let xgates =
+    List.init t.bits (fun i ->
+        Tseitin.compile t.neg `Pos
+          (Bexpr.nnf
+             (Bexpr.not_
+                (Bexpr.iff
+                   (Bexpr.var (t.g + i))
+                   (Bexpr.var (t.y_last + i))))))
+  in
+  Sess.push t.sess;
+  for i = 0 to t.bits - 1 do
+    let gl = Lit.of_var (t.g + i) and xl = Lit.of_var (t.x_last + i) in
+    Sess.add_clause t.sess [ Lit.negate gl; xl ];
+    Sess.add_clause t.sess [ gl; Lit.negate xl ]
+  done;
+  Sess.add_clause t.sess ((t.d_i :: List.rev t.d_ts_rev) @ xgates)
+
+let finish ~stop ~lower acc =
+  {
+    diameter = (match stop with Complete -> Some lower | _ -> None);
+    lower_bound = lower;
+    stop;
+    per_bound = List.rev acc;
+  }
+
+let compute_incremental ~config ~style ~max_n ~validate ~on_bound model =
+  let t = inc_create ~config ?validate ~style model in
+  Fun.protect
+    ~finally:(fun () -> Sess.dispose t.sess)
+    (fun () ->
+      let rec go n acc =
+        if n > max_n then finish ~stop:Bound_exceeded ~lower:n acc
+        else begin
+          if n > 0 then begin
+            Sess.pop t.sess;
+            inc_advance t
+          end;
+          inc_bind t;
+          let carried = (Sess.db_stats t.sess).Sess.learned_clauses_active in
+          let r = Sess.solve t.sess in
+          let st =
+            {
+              bound = n;
+              outcome = r.ST.outcome;
+              stats = r.ST.stats;
+              nvars = Sess.var_count t.sess;
+              carried_clauses = carried;
+            }
+          in
+          on_bound st;
+          let acc = st :: acc in
+          match r.ST.outcome with
+          | ST.False -> finish ~stop:Complete ~lower:n acc
+          | ST.True -> go (n + 1) acc
+          | ST.Unknown -> finish ~stop:Solver_stopped ~lower:n acc
+        end
+      in
+      go 0 [])
+
+let compute_rebuild ~config ~style ~max_n ~on_bound model =
+  let rec go n acc =
+    if n > max_n then finish ~stop:Bound_exceeded ~lower:n acc
     else
       let lay = build model ~n in
       let f =
@@ -140,9 +380,34 @@ let compute ?(config = Qbf_solver.Solver_types.default_config)
               lay.formula
       in
       let r = Qbf_solver.Engine.solve ~config:(config_for ~config lay) f in
-      match r.Qbf_solver.Solver_types.outcome with
-      | Qbf_solver.Solver_types.False -> Some n
-      | Qbf_solver.Solver_types.True -> go (n + 1)
-      | Qbf_solver.Solver_types.Unknown -> None
+      let st =
+        {
+          bound = n;
+          outcome = r.ST.outcome;
+          stats = r.ST.stats;
+          nvars = Qbf_core.Formula.nvars f;
+          carried_clauses = 0;
+        }
+      in
+      on_bound st;
+      let acc = st :: acc in
+      match r.ST.outcome with
+      | ST.False -> finish ~stop:Complete ~lower:n acc
+      | ST.True -> go (n + 1) acc
+      | ST.Unknown -> finish ~stop:Solver_stopped ~lower:n acc
   in
-  go 0
+  go 0 []
+
+let compute_report ?(config = ST.default_config) ?(style = Nonprenex)
+    ?(max_n = 64) ?(mode = `Incremental) ?validate
+    ?(on_bound = fun (_ : bound_stat) -> ()) model =
+  match mode with
+  | `Incremental -> compute_incremental ~config ~style ~max_n ~validate ~on_bound model
+  | `Rebuild -> compute_rebuild ~config ~style ~max_n ~on_bound model
+
+(* Iterate phi_n for n = 0, 1, ... until it turns false: that n is the
+   diameter (phi_n is true iff n < d).  [None] when the solver budget
+   runs out or [max_n] is exceeded.  Rebuild-backed: the historical
+   one-shot loop, kept as the stable baseline. *)
+let compute ?config ?style ?max_n model =
+  (compute_report ?config ?style ?max_n ~mode:`Rebuild model).diameter

@@ -37,8 +37,58 @@ val config_for :
   layout ->
   Qbf_solver.Solver_types.config
 
+(** {1 The diameter iteration} *)
+
+type stop =
+  | Complete  (** some phi_n came back false: the diameter is known *)
+  | Bound_exceeded  (** every bound up to [max_n] was true *)
+  | Solver_stopped  (** a solver budget ended a bound inconclusively *)
+
+val string_of_stop : stop -> string
+
+type bound_stat = {
+  bound : int;
+  outcome : Qbf_solver.Solver_types.outcome;
+  stats : Qbf_solver.Solver_types.stats;
+      (** solver work for this bound only (a per-call delta) *)
+  nvars : int;  (** QBF variables in play at this bound *)
+  carried_clauses : int;
+      (** learned clauses alive entering the bound (incremental mode;
+          0 when rebuilding) *)
+}
+
+type report = {
+  diameter : int option;  (** [Some d] iff [stop = Complete] *)
+  lower_bound : int;
+      (** phi_n was proved true for every [n < lower_bound], so the
+          diameter is at least [lower_bound] even when unknown *)
+  stop : stop;
+  per_bound : bound_stat list;  (** ascending bound order *)
+}
+
+(** Iterate phi_0, phi_1, ... until one turns false, reporting each
+    bound's cost.  [`Incremental] (the default) keeps one
+    {!Qbf_solver.Session} across bounds with the goal-register
+    encoding: learned clauses from the shared chain structure and the
+    branching heuristic's activities carry over, and each bound only
+    retracts/re-asserts the tip binding.  [`Rebuild] encodes every
+    phi_n from scratch (the historical loop).  Both modes decide the
+    same formulas and report the same diameter.  [validate] forwards
+    to {!Qbf_solver.Session.create} (growth-contract checking);
+    [on_bound] observes each bound as it completes. *)
+val compute_report :
+  ?config:Qbf_solver.Solver_types.config ->
+  ?style:style ->
+  ?max_n:int ->
+  ?mode:[ `Incremental | `Rebuild ] ->
+  ?validate:bool ->
+  ?on_bound:(bound_stat -> unit) ->
+  Model.t ->
+  report
+
 (** Diameter by iterating phi_n until false.  [None] if the solver
-    budget runs out or [max_n] (default 64) is exceeded. *)
+    budget runs out or [max_n] (default 64) is exceeded.
+    Rebuild-backed: equals [(compute_report ~mode:`Rebuild ...).diameter]. *)
 val compute :
   ?config:Qbf_solver.Solver_types.config ->
   ?style:style ->

@@ -193,6 +193,111 @@ let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
   { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped; metrics; profile }
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted incremental sessions                                       *)
+
+(* The session analogue of [solve]: one growable Qbf_solver.Session
+   behind the same limit plumbing.  The wall-clock budget is per call —
+   each [solve] gets a fresh deadline — while [max_nodes] necessarily
+   stays cumulative (the engine compares it against the session's
+   running totals).  The memory guard is installed only around solves,
+   so building a large extension between calls never trips it. *)
+module Session = struct
+  type session = {
+    raw : Qbf_solver.Session.t;
+    limits : Limits.t;
+    interrupt : Limits.Interrupt.t;
+    config : ST.config; (* the effective config, for snapshots *)
+  }
+
+  type t = session
+
+  let make ?(limits = Limits.default) ?interrupt
+      ?(config = ST.default_config) ?validate seed =
+    let interrupt =
+      match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
+    in
+    let config =
+      {
+        config with
+        ST.stop_flag =
+          (match config.ST.stop_flag with
+          | None -> Some (Limits.Interrupt.flag interrupt)
+          | Some _ as user -> user);
+        ST.stop_interval = max 1 limits.Limits.poll_interval;
+        ST.max_nodes = min_opt config.ST.max_nodes limits.Limits.max_nodes;
+      }
+    in
+    let raw =
+      match seed with
+      | None -> Qbf_solver.Session.create ~config ?validate ()
+      | Some f -> Qbf_solver.Session.of_formula ~config ?validate f
+    in
+    { raw; limits; interrupt; config }
+
+  let create ?limits ?interrupt ?config ?validate () =
+    make ?limits ?interrupt ?config ?validate None
+
+  let of_formula ?limits ?interrupt ?config ?validate f =
+    make ?limits ?interrupt ?config ?validate (Some f)
+
+  let raw t = t.raw
+  let interrupt t = t.interrupt
+  let stats t = Qbf_solver.Session.stats t.raw
+
+  let solve ?assumptions t =
+    let deadline =
+      match t.limits.Limits.timeout_s with
+      | None -> Limits.Deadline.never
+      | Some s -> Limits.Deadline.after ~clock:t.limits.Limits.clock s
+    in
+    let guard =
+      Option.map
+        (fun mb -> Limits.Mem_guard.install ~limit_mb:mb t.interrupt)
+        t.limits.Limits.mem_mb
+    in
+    let t0 = t.limits.Limits.clock () in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Limits.Mem_guard.remove guard)
+        (fun () ->
+          Qbf_solver.Session.solve ?assumptions
+            ~should_stop:(fun () -> Limits.Deadline.expired deadline)
+            t.raw)
+    in
+    let time = t.limits.Limits.clock () -. t0 in
+    let stopped =
+      match r.ST.outcome with
+      | ST.True | ST.False -> None
+      | ST.Unknown ->
+          if Limits.Interrupt.triggered t.interrupt then
+            Some
+              (Interrupted
+                 (Option.value ~default:Limits.Interrupt.Manual
+                    (Limits.Interrupt.reason t.interrupt)))
+          else if Limits.Deadline.expired deadline then Some Timeout
+          else
+            let nodes = ST.nodes (Qbf_solver.Session.stats t.raw) in
+            let node_hit =
+              match t.config.ST.max_nodes with
+              | Some m -> nodes >= m
+              | None -> false
+            in
+            Some (if node_hit then Node_budget else Budget)
+    in
+    let metrics, profile = snapshots_of_obs t.config.ST.obs in
+    {
+      outcome = r.ST.outcome;
+      time;
+      stats = r.ST.stats;
+      stopped;
+      metrics;
+      profile;
+    }
+
+  let dispose t = Qbf_solver.Session.dispose t.raw
+end
+
+(* ------------------------------------------------------------------ *)
 (* Budget-escalation portfolio                                         *)
 
 type attempt = {

@@ -145,6 +145,10 @@ let analyze_conflict s cid0 =
   let bad v = v = 1 in
   let c0 = S.constr s cid0 in
   Array.iter (work_add s w ~bad) c0.lits;
+  (* Frame dependency of the derivation: the learned clause depends on
+     every session frame an antecedent depends on, so it is tagged with
+     the maximum and retracted when any of them is popped. *)
+  let max_frame = ref c0.frame in
   let bound = 5000 + (4 * s.S.nvars) in
   let rec loop n =
     if n > bound then raise Fallback;
@@ -175,7 +179,9 @@ let analyze_conflict s cid0 =
             let lits = Array.of_list (sorted_lits w) in
             let from_level = S.current_level s in
             S.backtrack s beta;
-            let _cid = S.add_constraint s Clause_c ~learned:true lits in
+            let _cid =
+              S.add_constraint s Clause_c ~learned:true ~frame:!max_frame lits
+            in
             s.S.stats.learned_clauses <- s.S.stats.learned_clauses + 1;
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
             note_learn s ~cube:false ~size:(Array.length lits) ~from_level
@@ -186,6 +192,7 @@ let analyze_conflict s cid0 =
             match s.S.reason.(S.var e) with
             | Reason rid when (S.constr s rid).kind = Clause_c ->
                 let r = S.constr s rid in
+                if r.frame > !max_frame then max_frame := r.frame;
                 work_remove w e;
                 Array.iter
                   (fun m -> if S.var m <> S.var e then work_add s w ~bad m)
@@ -308,6 +315,14 @@ let cover_cube s w =
 let analyze_solution s source =
   let w = work_create () in
   let bad v = v = 0 in
+  (* A cover good entails the whole current matrix, so it depends on the
+     current frame; a cube source carries its recorded frame. *)
+  let max_frame =
+    ref
+      (match source with
+      | Propagate.Cover -> s.S.frame_level
+      | Propagate.Cube cid -> (S.constr s cid).frame)
+  in
   (match source with
   | Propagate.Cover -> cover_cube s w
   | Propagate.Cube cid -> Array.iter (work_add s w ~bad) (S.constr s cid).lits);
@@ -343,7 +358,9 @@ let analyze_solution s source =
             let lits = Array.of_list (sorted_lits w) in
             let from_level = S.current_level s in
             S.backtrack s beta;
-            let _cid = S.add_constraint s Cube_c ~learned:true lits in
+            let _cid =
+              S.add_constraint s Cube_c ~learned:true ~frame:!max_frame lits
+            in
             s.S.stats.learned_cubes <- s.S.stats.learned_cubes + 1;
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
             note_learn s ~cube:true ~size:(Array.length lits) ~from_level
@@ -354,6 +371,7 @@ let analyze_solution s source =
             match s.S.reason.(S.var u) with
             | Reason rid when (S.constr s rid).kind = Cube_c ->
                 let r = S.constr s rid in
+                if r.frame > !max_frame then max_frame := r.frame;
                 work_remove w u;
                 Array.iter
                   (fun m -> if S.var m <> S.var u then work_add s w ~bad m)

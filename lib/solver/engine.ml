@@ -210,7 +210,3 @@ let solve ?(config = default_config) formula =
     | _ -> S.create formula config
   in
   solve_state s
-
-(* Expose state creation for tools that want to inspect the final state
-   (e.g. the Figure-2 trace example). *)
-let create = S.create

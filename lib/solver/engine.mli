@@ -6,25 +6,24 @@
     The same engine implements both of the paper's solvers: QuBE(TO) is
     [solve] on a prenex formula with [heuristic = Total_order], QuBE(PO)
     is [solve] on the original non-prenex formula with
-    [heuristic = Partial_order] (the default). *)
+    [heuristic = Partial_order] (the default).
 
-(** Decide a QBF.  Correct and complete for any budget-free
+    This interface is deliberately narrow: state construction and the
+    internal search entry points live behind {!Session}, the primary
+    API.  Use {!Session.one_shot} (or the [solve] below, its historical
+    alias) only for fire-and-forget calls. *)
+
+(** Decide a QBF in one shot.  Correct and complete for any budget-free
     configuration; returns [Unknown] only when a budget of [config]
-    triggers. *)
+    triggers.
+
+    Deprecated as an API surface: prefer {!Session} — it solves the same
+    formulas and additionally supports incremental growth, push/pop and
+    assumptions.  Kept because one-shot callers (tools, tests, the
+    differential fuzzer) have no session state to manage. *)
 val solve :
   ?config:Solver_types.config -> Qbf_core.Formula.t -> Solver_types.result
 
-(** Lower-level entry points (used by the trace example, tools and
-    tests): create a solver state, run the loop on it. *)
-val create : Qbf_core.Formula.t -> Solver_types.config -> State.t
-
+(** Run the search loop on a prepared state.  Internal: {!Session} is
+    the supported way to drive the engine across multiple calls. *)
 val solve_state : State.t -> Solver_types.result
-
-(** Scan the database for a falsified clause (the safety net behind
-    discovery-queue clearing; see State). *)
-val rescan_falsified : State.t -> int option
-
-(** Search leaves so far (conflicts + solutions). *)
-val leaves : State.t -> int
-
-val budget_exhausted : State.t -> bool

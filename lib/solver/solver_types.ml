@@ -8,6 +8,14 @@ type constr = {
   lits : int array; (* literals as raw ints, see {!Qbf_core.Lit} *)
   kind : kind;
   learned : bool;
+  frame : int;
+      (* session push/pop frame this constraint depends on: the frame
+         that was current when an original constraint was added, or the
+         maximum frame over the antecedents of a learned constraint's
+         resolution derivation.  Popping frame [k] retracts every
+         constraint with [frame > k] — exactly the ones whose derivation
+         used a retracted original.  One-shot solving runs entirely in
+         frame 0. *)
   mutable ue : int; (* unassigned existential literals *)
   mutable uu : int; (* unassigned universal literals *)
   mutable fixed : int;
@@ -66,6 +74,43 @@ let empty_stats () =
 (* Leaves visited: the size measure used by the benchmark harness. *)
 let nodes stats = stats.conflicts + stats.solutions
 
+let copy_stats s =
+  {
+    decisions = s.decisions;
+    propagations = s.propagations;
+    pure_assignments = s.pure_assignments;
+    conflicts = s.conflicts;
+    solutions = s.solutions;
+    learned_clauses = s.learned_clauses;
+    learned_cubes = s.learned_cubes;
+    backjumps = s.backjumps;
+    chrono_fallbacks = s.chrono_fallbacks;
+    max_decision_level = s.max_decision_level;
+    restarts_done = s.restarts_done;
+    deleted_constraints = s.deleted_constraints;
+  }
+
+(* [diff_stats ~before after] is the per-call delta of two cumulative
+   snapshots (incremental sessions report deltas; see Session.solve).
+   [max_decision_level] is a high-water mark, not a counter, and is
+   passed through unchanged. *)
+let diff_stats ~before after =
+  {
+    decisions = after.decisions - before.decisions;
+    propagations = after.propagations - before.propagations;
+    pure_assignments = after.pure_assignments - before.pure_assignments;
+    conflicts = after.conflicts - before.conflicts;
+    solutions = after.solutions - before.solutions;
+    learned_clauses = after.learned_clauses - before.learned_clauses;
+    learned_cubes = after.learned_cubes - before.learned_cubes;
+    backjumps = after.backjumps - before.backjumps;
+    chrono_fallbacks = after.chrono_fallbacks - before.chrono_fallbacks;
+    max_decision_level = after.max_decision_level;
+    restarts_done = after.restarts_done - before.restarts_done;
+    deleted_constraints =
+      after.deleted_constraints - before.deleted_constraints;
+  }
+
 type event =
   | E_decide of int (* literal assigned as a branch *)
   | E_flip of int (* second branch of a chronological flip *)
@@ -74,10 +119,33 @@ type event =
   | E_solution_leaf
   | E_backtrack of int (* target decision level *)
 
+(* Engine configuration.  The knobs fall into four groups:
+
+   {b Search strategy} — what the solver does at each node:
+   [learning], [pure_literals], [heuristic], [rescale_interval],
+   [restarts], [restart_base], [db_reduction].
+
+   {b Budgets} — when the solver gives up with [Unknown]:
+   [max_decisions], [max_nodes], [should_stop], [stop_flag],
+   [stop_interval].
+
+   {b Observability} — what it reports while running:
+   [on_event], [obs].
+
+   {b Structure hints} — information about the input the engine cannot
+   infer: [aux_hint]. *)
 type config = {
+  (* -- search strategy -------------------------------------------------- *)
   learning : bool; (* nogood + good learning with backjumping *)
   pure_literals : bool;
   heuristic : heuristic_mode;
+  rescale_interval : int; (* activity-halving period, in leaves *)
+  restarts : bool; (* Luby-scheduled restarts (keep learned constraints) *)
+  restart_base : int; (* leaves per Luby unit *)
+  db_reduction : bool;
+      (* periodically drop the oldest unlocked learned constraints when
+         the learned database outgrows the original matrix *)
+  (* -- budgets ---------------------------------------------------------- *)
   max_decisions : int option;
   max_nodes : int option; (* bound on conflicts + solutions *)
   should_stop : (unit -> bool) option; (* external budget, e.g. wall clock *)
@@ -90,18 +158,14 @@ type config = {
          check (the historical behaviour), larger values amortize an
          expensive poll such as [Unix.gettimeofday] behind a tick
          counter *)
-  rescale_interval : int; (* activity-halving period, in leaves *)
-  restarts : bool; (* Luby-scheduled restarts (keep learned constraints) *)
-  restart_base : int; (* leaves per Luby unit *)
-  db_reduction : bool;
-      (* periodically drop the oldest unlocked learned constraints when
-         the learned database outgrows the original matrix *)
+  (* -- observability ---------------------------------------------------- *)
   on_event : (event -> unit) option;
   obs : Qbf_obs.Obs.t option;
       (* observability collector (metrics registry, trace emitter, phase
          profiler).  [None] installs the shared all-off collector: every
          instrumentation site then costs one flag load and one untaken
          branch, so the search path is unchanged in practice *)
+  (* -- structure hints -------------------------------------------------- *)
   aux_hint : (int -> bool) option;
       (* marks auxiliary (CNF-conversion) variables; solution analysis
          may then cover clauses with *virtually flipped* auxiliary

@@ -26,32 +26,39 @@ let var l = l lsr 1
 let neg l = l lxor 1
 let is_pos l = l land 1 = 0
 
+(* Fields marked [mutable] below fall into two groups: search-time
+   scalars (trail bookkeeping, epochs) and the per-variable / per-literal
+   / per-block tables, which incremental sessions swap wholesale when the
+   prefix grows ({!extend}).  Everything indexed by DFS numbers of the
+   quantifier forest (block ids, [d]/[f] timestamps, [plevel]) is
+   recomputed on extension — extension renumbers the forest. *)
 type t = {
-  prefix : Prefix.t;
-  nvars : int;
+  mutable prefix : Prefix.t;
+  mutable nvars : int;
   config : config;
   stats : stats;
   constrs : constr Vec.t;
-  occ : int Vec.t array; (* per literal: ids of constraints containing it *)
-  value : int array; (* per var: -1 unassigned / 0 false / 1 true *)
-  reason : antecedent array; (* per var *)
-  vlevel : int array; (* per var: decision level of assignment *)
-  pos : int array; (* per var: trail index of assignment *)
+  mutable occ : int Vec.t array;
+      (* per literal: ids of constraints containing it *)
+  mutable value : int array; (* per var: -1 unassigned / 0 false / 1 true *)
+  mutable reason : antecedent array; (* per var *)
+  mutable vlevel : int array; (* per var: decision level of assignment *)
+  mutable pos : int array; (* per var: trail index of assignment *)
   trail : int Vec.t; (* assigned literals (true), oldest first *)
   trail_lim : int Vec.t; (* trail length at the start of each level *)
   dec_flipped : bool Vec.t; (* per level: second branch of a flip? *)
-  is_exist : bool array; (* per var *)
-  block_of : int array;
-  block_parent : int array;
-  block_unassigned : int array;
-  d : int array; (* prefix timestamps, cached from Prefix *)
-  f : int array;
-  plevel : int array; (* per var: prefix level, cached for emit sites *)
+  mutable is_exist : bool array; (* per var *)
+  mutable block_of : int array;
+  mutable block_parent : int array;
+  mutable block_unassigned : int array;
+  mutable d : int array; (* prefix timestamps, cached from Prefix *)
+  mutable f : int array;
+  mutable plevel : int array; (* per var: prefix level, cached for emits *)
   obs : Obs.t; (* observability collector; Obs.none when disabled *)
-  pos_unsat : int array; (* per literal: active unsatisfied clauses *)
-  counter : int array; (* per literal: active constraints containing it *)
-  act : float array; (* per literal: decayed activity *)
-  last_counter : int array;
+  mutable pos_unsat : int array; (* per literal: active unsatisfied clauses *)
+  mutable counter : int array; (* per literal: active constraints with it *)
+  mutable act : float array; (* per literal: decayed activity *)
+  mutable last_counter : int array;
   mutable unsat_originals : int;
   mutable num_original : int;
   conflict_q : int Vec.t;
@@ -63,16 +70,22 @@ type t = {
          clauses; deferred until quiescence so that satisfied-elsewhere
          auxiliary gates can instead turn pure-negative, which keeps
          learned goods short (see Propagate) *)
-  seen : int array; (* per var: epoch marks for analysis *)
+  mutable seen : int array; (* per var: epoch marks for analysis *)
   mutable epoch : int;
   mutable stop_ticks : int;
       (* budget checks since the last [should_stop] poll (see
          Engine.budget_exhausted) *)
-  drop_ok : bool array;
+  mutable drop_ok : bool array;
       (* per var: existential with no universal variable anywhere in its
          ≺-scope, so existential reduction removes it from any cube *)
-  is_aux : bool array;
+  mutable is_aux : bool array;
       (* per var: declared auxiliary (config.aux_hint) and reducible *)
+  mutable frame_level : int;
+      (* current session push/pop frame; constraints added now are
+         tagged with it (see Solver_types.constr and Session) *)
+  mutable retracted_constraints : int;
+      (* constraints deactivated by session pops / cube invalidation,
+         kept separate from stats.deleted_constraints (DB reduction) *)
 }
 
 let dummy_constr =
@@ -80,6 +93,7 @@ let dummy_constr =
     lits = [||];
     kind = Clause_c;
     learned = false;
+    frame = 0;
     ue = 0;
     uu = 0;
     fixed = 0;
@@ -227,10 +241,15 @@ let new_decision s l ~flipped =
 (* Add a constraint over literal array [lits] (sorted, no duplicate
    variables), computing its counters against the current assignment and
    flagging it on the discovery queues if it is already unit, conflicting
-   or satisfied-as-a-cube.  Returns its id. *)
-let add_constraint s kind ~learned lits =
+   or satisfied-as-a-cube.  Returns its id.  [frame] defaults to the
+   current session frame; Analyze passes the maximum antecedent frame of
+   a learned constraint's derivation. *)
+let add_constraint s kind ~learned ?frame lits =
+  let frame = match frame with Some f -> f | None -> s.frame_level in
   let cid = Vec.length s.constrs in
-  let c = { lits; kind; learned; ue = 0; uu = 0; fixed = 0; active = true } in
+  let c =
+    { lits; kind; learned; frame; ue = 0; uu = 0; fixed = 0; active = true }
+  in
   Array.iter
     (fun m ->
       Vec.push s.occ.(m) cid;
@@ -268,11 +287,74 @@ let available s v =
 
 (* --- construction ------------------------------------------------------ *)
 
+(* Tables derived from the prefix alone (per-variable quantifier, block
+   membership, DFS timestamps, reducibility).  Recomputed wholesale on
+   {!extend}: a prefix extension renumbers the DFS. *)
+type tables = {
+  t_is_exist : bool array;
+  t_block_of : int array;
+  t_block_parent : int array;
+  t_block_size : int array;
+  t_d : int array;
+  t_f : int array;
+  t_plevel : int array;
+  t_drop_ok : bool array;
+  t_is_aux : bool array;
+}
+
+let prefix_tables prefix config =
+  let nvars = Prefix.nvars prefix in
+  let n = max nvars 1 in
+  let nb = Prefix.num_blocks prefix in
+  let nblocks = max nb 1 in
+  let is_exist =
+    Array.init n (fun v -> v < nvars && Prefix.is_exists prefix v)
+  in
+  (* drop_ok: existential variables with no universal block strictly
+     below theirs — their literals vanish under existential reduction of
+     any cube. *)
+  let univ_below = Array.make nblocks false in
+  for b = nb - 1 downto 0 do
+    univ_below.(b) <-
+      Array.exists
+        (fun c ->
+          univ_below.(c) || Quant.is_forall (Prefix.block_quant prefix c))
+        (Prefix.block_children prefix b)
+  done;
+  let drop_ok = Array.make n false in
+  let is_aux = Array.make n false in
+  for v = 0 to nvars - 1 do
+    drop_ok.(v) <- is_exist.(v) && not univ_below.(Prefix.block_of prefix v);
+    match config.aux_hint with
+    | Some h -> is_aux.(v) <- drop_ok.(v) && h v
+    | None -> ()
+  done;
+  {
+    t_is_exist = is_exist;
+    t_block_of =
+      Array.init n (fun v -> if v < nvars then Prefix.block_of prefix v else 0);
+    t_block_parent =
+      Array.init nblocks (fun b ->
+          if b < nb then Prefix.block_parent prefix b else -1);
+    t_block_size =
+      Array.init nblocks (fun b ->
+          if b < nb then Array.length (Prefix.block_vars prefix b) else 0);
+    t_d =
+      Array.init n (fun v ->
+          if v < nvars then Prefix.discovery prefix v else 0);
+    t_f =
+      Array.init n (fun v -> if v < nvars then Prefix.finish prefix v else 0);
+    t_plevel =
+      Array.init n (fun v -> if v < nvars then Prefix.level prefix v else 0);
+    t_drop_ok = drop_ok;
+    t_is_aux = is_aux;
+  }
+
 let create formula config =
   let prefix = Formula.prefix formula in
   let nvars = Prefix.nvars prefix in
   let n = max nvars 1 in
-  let nblocks = max (Prefix.num_blocks prefix) 1 in
+  let tb = prefix_tables prefix config in
   let s =
     {
       prefix;
@@ -288,21 +370,13 @@ let create formula config =
       trail = Vec.create (-1);
       trail_lim = Vec.create (-1);
       dec_flipped = Vec.create false;
-      is_exist = Array.init n (fun v -> v < nvars && Prefix.is_exists prefix v);
-      block_of = Array.init n (fun v -> if v < nvars then Prefix.block_of prefix v else 0);
-      block_parent =
-        Array.init nblocks (fun b ->
-            if b < Prefix.num_blocks prefix then Prefix.block_parent prefix b
-            else -1);
-      block_unassigned =
-        Array.init nblocks (fun b ->
-            if b < Prefix.num_blocks prefix then
-              Array.length (Prefix.block_vars prefix b)
-            else 0);
-      d = Array.init n (fun v -> if v < nvars then Prefix.discovery prefix v else 0);
-      f = Array.init n (fun v -> if v < nvars then Prefix.finish prefix v else 0);
-      plevel =
-        Array.init n (fun v -> if v < nvars then Prefix.level prefix v else 0);
+      is_exist = tb.t_is_exist;
+      block_of = tb.t_block_of;
+      block_parent = tb.t_block_parent;
+      block_unassigned = Array.copy tb.t_block_size;
+      d = tb.t_d;
+      f = tb.t_f;
+      plevel = tb.t_plevel;
       obs = (match config.obs with Some o -> o | None -> Obs.none);
       pos_unsat = Array.make (2 * n) 0;
       counter = Array.make (2 * n) 0;
@@ -318,31 +392,12 @@ let create formula config =
       seen = Array.make n 0;
       epoch = 0;
       stop_ticks = 0;
-      drop_ok = Array.make n false;
-      is_aux = Array.make n false;
+      drop_ok = tb.t_drop_ok;
+      is_aux = tb.t_is_aux;
+      frame_level = 0;
+      retracted_constraints = 0;
     }
   in
-  (* drop_ok: existential variables with no universal block strictly
-     below theirs — their literals vanish under existential reduction of
-     any cube. *)
-  let nb = Prefix.num_blocks prefix in
-  let univ_below = Array.make (max nb 1) false in
-  for b = nb - 1 downto 0 do
-    let here =
-      Array.exists
-        (fun c ->
-          univ_below.(c) || Quant.is_forall (Prefix.block_quant prefix c))
-        (Prefix.block_children prefix b)
-    in
-    univ_below.(b) <- here
-  done;
-  for v = 0 to nvars - 1 do
-    s.drop_ok.(v) <-
-      s.is_exist.(v) && not univ_below.(Prefix.block_of prefix v);
-    (match config.aux_hint with
-    | Some h -> s.is_aux.(v) <- s.drop_ok.(v) && h v
-    | None -> ())
-  done;
   List.iter
     (fun c ->
       if not (Clause.is_tautology c) then
@@ -363,30 +418,49 @@ let create formula config =
     done;
   s
 
-(* Deactivate a learned constraint: it stops participating in
-   propagation and purity; occurrence lists keep the stale id (touches
-   check [active]).  The caller guarantees the constraint is not the
-   reason of any assigned variable. *)
+(* Take an active constraint out of the occurrence/purity counters; the
+   shared tail of DB-reduction deletion and session retraction.
+   Occurrence lists keep the stale id (touches check [active]). *)
+let drop_from_counters s c =
+  c.active <- false;
+  Array.iter (fun m -> s.counter.(m) <- s.counter.(m) - 1) c.lits;
+  if c.kind = Clause_c && c.fixed = 0 then
+    Array.iter
+      (fun m ->
+        s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
+        if s.pos_unsat.(m) = 0 && s.config.pure_literals then
+          Vec.push s.pure_q m)
+      c.lits
+
+(* Deactivate a learned constraint (DB reduction): it stops
+   participating in propagation and purity.  The caller guarantees the
+   constraint is not the reason of any assigned variable. *)
 let deactivate_constraint s cid =
   let c = Vec.get s.constrs cid in
   if c.active then begin
-    c.active <- false;
-    Array.iter
-      (fun m -> s.counter.(m) <- s.counter.(m) - 1)
-      c.lits;
-    if c.kind = Clause_c && c.fixed = 0 then
-      Array.iter
-        (fun m ->
-          s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
-          if s.pos_unsat.(m) = 0 && s.config.pure_literals then
-            Vec.push s.pure_q m)
-        c.lits;
+    drop_from_counters s c;
     s.stats.deleted_constraints <- s.stats.deleted_constraints + 1;
     let o = s.obs in
     if o.Obs.metrics_on then Metrics.on_delete o.Obs.metrics;
     if o.Obs.trace_on then
       Trace.emit o.Obs.trace Trace.Delete ~dlevel:(current_level s)
         ~plevel:0 ~arg:cid
+  end
+
+(* Session retraction: unlike DB reduction this may remove *original*
+   constraints, so the matrix bookkeeping ([num_original],
+   [unsat_originals]) is maintained too.  Requires an empty trail (the
+   session clears it first), so an active clause has [fixed = 0]. *)
+let retract_constraint s cid =
+  let c = Vec.get s.constrs cid in
+  if c.active then begin
+    if not c.learned then begin
+      s.num_original <- s.num_original - 1;
+      if c.kind = Clause_c && c.fixed = 0 then
+        s.unsat_originals <- s.unsat_originals - 1
+    end;
+    drop_from_counters s c;
+    s.retracted_constraints <- s.retracted_constraints + 1
   end
 
 (* Periodic activity update (Section VI): halve and add the variation of
@@ -403,3 +477,113 @@ let rescale_activities s =
 let new_epoch s =
   s.epoch <- s.epoch + 1;
   s.epoch
+
+(* --- incremental-session support ---------------------------------------- *)
+
+(* Undo the entire trail, including level-0 assignments.  Level-0 units
+   and pures may have been propagated from constraints a session
+   mutation (clause addition, prefix growth, pop) is about to retract or
+   outdate, so their reasons cannot be trusted across the mutation;
+   propagation re-derives them cheaply on the next solve. *)
+let clear_trail s =
+  backtrack s 0;
+  while Vec.length s.trail > 0 do
+    unassign s (Vec.pop s.trail)
+  done;
+  clear_queues s
+
+(* Retract every active constraint whose frame exceeds [frame]: the
+   originals of popped frames and every learned constraint whose
+   derivation resolved with one (Analyze tags learned constraints with
+   the maximum antecedent frame).  Requires an empty trail. *)
+let retract_above s frame =
+  assert (Vec.length s.trail = 0);
+  for cid = 0 to Vec.length s.constrs - 1 do
+    let c = Vec.get s.constrs cid in
+    if c.active && c.frame > frame then retract_constraint s cid
+  done
+
+(* Learned cubes certify the matrix *as it stood* when they were
+   derived: a true cube records assignments under which every clause
+   then present was satisfied.  A freshly added clause can falsify that
+   certificate, so cubes are dropped whenever the matrix grows.  Learned
+   clauses survive: they are Q-resolution consequences of a subset of
+   the matrix, and adding clauses cannot invalidate such a derivation
+   (the extension must also preserve ≺ on old variable pairs, which is
+   the session's growth contract — the derivations' universal-reduction
+   steps, Lemma 3, only ever compared old pairs). *)
+let invalidate_cubes s =
+  assert (Vec.length s.trail = 0);
+  for cid = 0 to Vec.length s.constrs - 1 do
+    let c = Vec.get s.constrs cid in
+    if c.active && c.kind = Cube_c then retract_constraint s cid
+  done
+
+(* Refill the discovery queues from scratch: constraints added during
+   earlier solve calls must re-announce their unit/conflict/solution
+   states (their add-time queue entries died with the queues).  Runs on
+   an empty trail, so a clause is unit/conflicting iff it simply has
+   few existential literals. *)
+let requeue_all s =
+  for cid = 0 to Vec.length s.constrs - 1 do
+    let c = Vec.get s.constrs cid in
+    if c.active then
+      match c.kind with
+      | Clause_c -> check_clause_state s cid c
+      | Cube_c -> check_cube_state s cid c
+  done
+
+(* Re-seed purity candidates (the mirror of the loop in [create]). *)
+let reseed_pure_queue s =
+  if s.config.pure_literals then
+    for l = 0 to (2 * s.nvars) - 1 do
+      if s.pos_unsat.(l) = 0 then Vec.push s.pure_q l
+    done
+
+let grow_array a n fill =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make n fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* Grow the state in place to an extended prefix.  Preconditions,
+   enforced by Session: the trail is empty ({!clear_trail} first), every
+   old variable keeps its id and quantifier, and ≺ restricted to
+   old-variable pairs is unchanged (the soundness contract above).  All
+   prefix-derived tables are recomputed — extension renumbers block ids
+   and d/f timestamps — while per-variable search state (assignments,
+   activities, occurrence counters) is preserved for old variables. *)
+let extend s prefix =
+  assert (Vec.length s.trail = 0 && current_level s = 0);
+  let nvars = Prefix.nvars prefix in
+  assert (nvars >= s.nvars);
+  let n = max nvars 1 in
+  let tb = prefix_tables prefix s.config in
+  s.prefix <- prefix;
+  s.nvars <- nvars;
+  s.is_exist <- tb.t_is_exist;
+  s.block_of <- tb.t_block_of;
+  s.block_parent <- tb.t_block_parent;
+  s.block_unassigned <- Array.copy tb.t_block_size;
+  s.d <- tb.t_d;
+  s.f <- tb.t_f;
+  s.plevel <- tb.t_plevel;
+  s.drop_ok <- tb.t_drop_ok;
+  s.is_aux <- tb.t_is_aux;
+  s.value <- grow_array s.value n (-1);
+  s.reason <- grow_array s.reason n Decision;
+  s.vlevel <- grow_array s.vlevel n (-1);
+  s.pos <- grow_array s.pos n (-1);
+  s.seen <- grow_array s.seen n 0;
+  s.pos_unsat <- grow_array s.pos_unsat (2 * n) 0;
+  s.counter <- grow_array s.counter (2 * n) 0;
+  s.act <- grow_array s.act (2 * n) 0.;
+  s.last_counter <- grow_array s.last_counter (2 * n) 0;
+  if Array.length s.occ < 2 * n then begin
+    let old = s.occ in
+    s.occ <-
+      Array.init (2 * n) (fun l ->
+          if l < Array.length old then old.(l) else Vec.create (-1))
+  end

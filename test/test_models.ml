@@ -204,6 +204,77 @@ let test_diameter_compute () =
       Qbf_models.Families.shift ~bits:4;
     ]
 
+(* Incremental sessions and the per-bound rebuild must agree with each
+   other and with the BFS oracle on every family, in both styles; the
+   session runs with the growth contract validated on every prefix
+   extension (parenthesis property, eq. 13). *)
+let test_incremental_matches_rebuild () =
+  List.iter
+    (fun m ->
+      let d = Qbf_models.Reach.diameter m in
+      List.iter
+        (fun (sname, style) ->
+          let inc =
+            Qbf_models.Diameter.compute_report ~style ~validate:true m
+          in
+          let rb = Qbf_models.Diameter.compute_report ~style ~mode:`Rebuild m in
+          let name =
+            Printf.sprintf "%s (%s)" (Qbf_models.Model.name m) sname
+          in
+          Alcotest.(check (option int))
+            (name ^ " incremental") (Some d)
+            inc.Qbf_models.Diameter.diameter;
+          Alcotest.(check (option int))
+            (name ^ " rebuild") (Some d) rb.Qbf_models.Diameter.diameter;
+          Alcotest.(check int) (name ^ " lower bound") d
+            inc.Qbf_models.Diameter.lower_bound;
+          (* per-bound outcomes follow the phi_n truth pattern *)
+          List.iter
+            (fun (b : Qbf_models.Diameter.bound_stat) ->
+              Alcotest.check Util.outcome
+                (Printf.sprintf "%s phi_%d" name b.Qbf_models.Diameter.bound)
+                (Util.solver_outcome_of_bool (b.Qbf_models.Diameter.bound < d))
+                b.Qbf_models.Diameter.outcome)
+            inc.Qbf_models.Diameter.per_bound)
+        [
+          ("po", Qbf_models.Diameter.Nonprenex);
+          ("to", Qbf_models.Diameter.Prenex);
+        ])
+    [
+      Qbf_models.Families.counter ~bits:2;
+      Qbf_models.Families.counter ~bits:3;
+      Qbf_models.Families.ring ~gates:4;
+      Qbf_models.Families.semaphore ~procs:2;
+      Qbf_models.Families.dme ~cells:3;
+      Qbf_models.Families.gray ~bits:3;
+      Qbf_models.Families.shift ~bits:4;
+    ]
+
+(* Inconclusive iterations report how far they got: a small max_n gives
+   a proven lower bound, an exhausted budget says the solver stopped. *)
+let test_compute_report_stops () =
+  let m = Qbf_models.Families.counter ~bits:3 in
+  List.iter
+    (fun mode ->
+      let r = Qbf_models.Diameter.compute_report ~mode ~max_n:3 m in
+      Alcotest.(check (option int)) "no diameter" None
+        r.Qbf_models.Diameter.diameter;
+      Alcotest.(check bool) "bound exceeded" true
+        (r.Qbf_models.Diameter.stop = Qbf_models.Diameter.Bound_exceeded);
+      Alcotest.(check int) "lower bound proves phi_0..phi_3" 4
+        r.Qbf_models.Diameter.lower_bound;
+      let config =
+        {
+          Qbf_solver.Solver_types.default_config with
+          Qbf_solver.Solver_types.should_stop = Some (fun () -> true);
+          Qbf_solver.Solver_types.stop_interval = 1;
+        }
+      in
+      let r = Qbf_models.Diameter.compute_report ~mode ~config m in
+      Alcotest.(check bool) "solver stopped" true
+        (r.Qbf_models.Diameter.stop = Qbf_models.Diameter.Solver_stopped))
+    [ `Incremental; `Rebuild ]
+
 let test_phi_prefix_shape () =
   (* prefix (18): x^{n+1} ≺ y's ≺ aux; the x-chain unordered with y. *)
   let m = Qbf_models.Families.counter ~bits:2 in
@@ -336,6 +407,10 @@ let suite =
     Alcotest.test_case "phi_n truth pattern (vs BFS oracle)" `Slow
       test_phi_truth_pattern;
     Alcotest.test_case "diameter compute = BFS" `Slow test_diameter_compute;
+    Alcotest.test_case "incremental = rebuild = BFS" `Slow
+      test_incremental_matches_rebuild;
+    Alcotest.test_case "compute_report stop reasons" `Quick
+      test_compute_report_stops;
     Alcotest.test_case "phi prefix shape (18)/(19)" `Quick
       test_phi_prefix_shape;
     Alcotest.test_case "gray and shift families" `Quick test_gray_shift;

@@ -138,7 +138,7 @@ let test_learned_clauses_sound () =
   for _ = 1 to 25 do
     let f = Qbf_gen.Randqbf.tree rng ~nvars:9 ~nclauses:18 ~len:3 () in
     let value = Qbf_core.Eval.eval f in
-    let s = Qbf_solver.Engine.create f ST.default_config in
+    let s = Qbf_solver.State.create f ST.default_config in
     let r = Qbf_solver.Engine.solve_state s in
     Alcotest.check Util.outcome "result"
       (Util.solver_outcome_of_bool value)

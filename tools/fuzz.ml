@@ -3,7 +3,7 @@
 
      fuzz [--seeds N] [--seed-base S] [--max-seconds T] [-v]
 
-   Per seed, three phases:
+   Per seed, four phases:
 
    1. differential: a random QBF (tree or prenex) solved under every
       interesting engine configuration — the 8-way learning x pures x
@@ -18,7 +18,13 @@
    3. robustness: the serialized text is mutated — truncated at a random
       offset, a random line dropped, random bytes corrupted — and fed
       back to the loader, which must return Ok or a structured Error
-      but never let an exception escape.
+      but never let an exception escape;
+
+   4. incremental sessions (prenex seeds, which keep any added clause
+      path-consistent): solve / push + grow / solve / pop / solve /
+      grow at frame 0 / solve on one Qbf_solver.Session with the
+      growth contract validated, each call checked against the
+      expansion oracle on the matching one-shot formula.
 
    Stops early when --max-seconds is exceeded (the smoke target in
    test/dune runs a 2-second slice on every `dune runtest`).  Exits
@@ -81,6 +87,24 @@ let gen_formula rng seed =
       ~nclauses ~len
       ~min_exists:(seed mod 3)
       ()
+
+(* Random extension clauses with at least one existential literal (an
+   all-universal clause is contradictory by Lemma 4 and ends every
+   branch immediately, exercising nothing). *)
+let random_clauses rng prefix ~nvars ~n =
+  let evars =
+    List.filter (Prefix.is_exists prefix) (List.init nvars (fun v -> v))
+  in
+  if evars = [] then []
+  else
+    List.init n (fun _ ->
+        let width = 2 + Qbf_gen.Rng.int rng 3 in
+        let e = List.nth evars (Qbf_gen.Rng.int rng (List.length evars)) in
+        Lit.make e (Qbf_gen.Rng.int rng 2 = 0)
+        :: List.init (width - 1) (fun _ ->
+               Lit.make
+                 (Qbf_gen.Rng.int rng nvars)
+                 (Qbf_gen.Rng.int rng 2 = 0)))
 
 let mutate rng text =
   let n = String.length text in
@@ -202,6 +226,45 @@ let () =
                    (Printexc.to_string e) mutated
            done)
          texts;
+       (* 4. incremental sessions vs the oracle (prenex seeds only:
+          added clauses may span any variable pair, which is only
+          path-consistent on a chain prefix) *)
+       (if seed mod 2 = 1 then begin
+          let prefix = Formula.prefix f in
+          let nvars = Formula.nvars f in
+          let with_extra base extra =
+            Formula.make (Formula.prefix base)
+              (List.map Clause.of_list extra @ Formula.matrix base)
+          in
+          let t = Qbf_solver.Session.of_formula ~validate:true f in
+          let check label reference =
+            let got = (Qbf_solver.Session.solve t).ST.outcome in
+            let want =
+              if Eval.eval reference then ST.True else ST.False
+            in
+            if got <> want then
+              complain seed "SESSION %s mismatch: expected %s" label
+                (match want with ST.True -> "true" | _ -> "false")
+          in
+          (try
+             check "base" f;
+             let pushed =
+               random_clauses rng prefix ~nvars ~n:(1 + Qbf_gen.Rng.int rng 4)
+             in
+             Qbf_solver.Session.push t;
+             List.iter (Qbf_solver.Session.add_clause t) pushed;
+             check "pushed" (with_extra f pushed);
+             Qbf_solver.Session.pop t;
+             check "popped" f;
+             let grown =
+               random_clauses rng prefix ~nvars ~n:(1 + Qbf_gen.Rng.int rng 3)
+             in
+             List.iter (Qbf_solver.Session.add_clause t) grown;
+             check "grown" (with_extra f grown)
+           with e ->
+             complain seed "SESSION exception: %s" (Printexc.to_string e));
+          Qbf_solver.Session.dispose t
+        end);
        incr done_seeds;
        if !verbose && seed mod 100 = 0 then
          Printf.printf "... seed %d (%.1fs)\n%!" seed
