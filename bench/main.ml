@@ -11,12 +11,14 @@
    (decisions, propagations, backjump lengths), not just seconds.
 
    Sections: table1-ncf table1-fpv table1-dia table1-eval
-             fig3 fig4 fig5 fig6 fig7 dia-inc ablation micro
+             fig3 fig4 fig5 fig6 fig7 dia-inc prop ablation micro
              all (default: all)
 
    The dia-inc section compares the incremental diameter session
    against the per-bound rebuild and (with --json) writes the
-   BENCH_dia.json artifact.
+   BENCH_dia.json artifact.  The prop section compares the watched
+   and counter propagation engines on the same workload and (with
+   --json) writes BENCH_prop.json.
 
    Absolute run times differ from the paper's 2006 testbed; the shapes
    (who wins, by what factor, how scaling behaves) are the reproduction
@@ -334,6 +336,53 @@ let dia_inc o =
       let file = Qbf_bench.Dia_inc.write_json ~dir results in
       Printf.printf "wrote %s (%d models)\n%!" file (List.length results)
 
+(* ---------- propagation engines ------------------------------------------ *)
+
+(* Watched vs counter propagation on the DIA iteration (ISSUE 5: the
+   watched engine must show >= 2x propagations/sec on at least one
+   instance with a large learned database).  gray3 is that instance:
+   thousands of learned cubes, and the counter engine walks every
+   occurrence list on each assignment and unassignment while the
+   watched engine touches two literals per constraint. *)
+let prop o =
+  section "Propagation engines: watched vs counters on the DIA iteration (PO)";
+  let models =
+    List.map Qbf_models.Families.by_name
+      (if o.full then
+         [
+           "counter2"; "counter3"; "ring4"; "ring6"; "semaphore3"; "shift5";
+           "gray3";
+         ]
+       else [ "counter2"; "counter3"; "ring4"; "semaphore3"; "gray3" ])
+  in
+  let timeout_s = Float.max 60. (o.timeout *. 20.) in
+  let results =
+    List.map
+      (fun m ->
+        let r = Qbf_bench.Prop.run ~timeout_s m in
+        Printf.printf "%s: done (watched %.2fs, counters %.2fs)\n%!"
+          (Qbf_models.Model.name m) r.Qbf_bench.Prop.watched
+            .Qbf_bench.Prop.time_s
+          r.Qbf_bench.Prop.counters.Qbf_bench.Prop.time_s;
+        r)
+      models
+  in
+  print_endline
+    (Rep.render_table Qbf_bench.Prop.header
+       (List.map Qbf_bench.Prop.row_cells results));
+  (* engines must agree: a disagreement is a bug, not a data point *)
+  List.iter
+    (fun (r : Qbf_bench.Prop.result) ->
+      if not (Qbf_bench.Prop.agree r) then
+        Printf.printf "WARNING: %s: watched and counters disagree!\n"
+          r.Qbf_bench.Prop.model)
+    results;
+  (match o.json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Qbf_bench.Prop.write_json ~dir results in
+      Printf.printf "wrote %s (%d models)\n%!" file (List.length results))
+
 (* ---------- ablation ----------------------------------------------------- *)
 
 (* Which engine ingredients carry the DIA behaviour: learning, pures,
@@ -464,6 +513,7 @@ let () =
   if want "fig6" then fig6 o;
   if want "fig7" then fig7 o;
   if want "dia-inc" then dia_inc o;
+  if want "prop" then prop o;
   if want "ablation" then ablation o;
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

@@ -18,7 +18,8 @@ module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Profile = Qbf_obs.Profile
 
-let run model_name style max_n timeout bfs verbose profile_on incremental =
+let run model_name style propagation max_n timeout bfs verbose profile_on
+    incremental =
   let model =
     if Filename.check_suffix model_name ".smv" then
       Qbf_models.Smv.parse_file model_name
@@ -51,6 +52,15 @@ let run model_name style max_n timeout bfs verbose profile_on incremental =
       ST.heuristic =
         (if style = Qbf_models.Diameter.Nonprenex then ST.Partial_order
          else ST.Total_order);
+      ST.propagation =
+        (match propagation with
+        | "watched" -> ST.Watched
+        | "counters" -> ST.Counters
+        | other ->
+            Printf.eprintf
+              "unknown propagation engine %S (use watched or counters)\n"
+              other;
+            exit 2);
       ST.should_stop =
         Some (fun () -> Qbf_run.Limits.Deadline.expired deadline);
       ST.stop_flag = Some (Qbf_run.Limits.Interrupt.flag interrupt);
@@ -119,6 +129,11 @@ let cmd =
       const run
       $ (required & pos 0 (some string) None & Arg.info [] ~docv:"MODEL")
       $ (value & opt string "po" & Arg.info [ "style" ] ~docv:"MODE")
+      $ (value & opt string "watched"
+         & Arg.info [ "propagation" ] ~docv:"ENGINE"
+             ~doc:
+               "Propagation engine: $(b,watched) (default) or \
+                $(b,counters).")
       $ (value & opt int 40 & Arg.info [ "max-n" ] ~docv:"N")
       $ (value & opt float 60. & Arg.info [ "timeout" ] ~docv:"S")
       $ (value & flag & Arg.info [ "bfs" ] ~doc:"Cross-check with explicit BFS.")

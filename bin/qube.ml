@@ -108,9 +108,9 @@ let print_report_comments (r : Run.report) =
   | None -> ());
   Printf.printf "c %s\n" (Format.asprintf "%a" ST.pp_stats r.Run.stats)
 
-let run file heuristic no_learning no_pure restarts prenex_to miniscope
-    preprocess max_nodes timeout mem_limit use_portfolio json_status stats
-    trace_file trace_every profile_on =
+let run file heuristic propagation no_learning no_pure restarts prenex_to
+    miniscope preprocess max_nodes timeout mem_limit use_portfolio json_status
+    stats trace_file trace_every profile_on =
   (* Observability wiring: the trace (if any) is one JSONL stream shared
      across the whole invocation, while metrics and profile are fresh
      per attempt in portfolio mode so each rung reports its own. *)
@@ -167,6 +167,15 @@ let run file heuristic no_learning no_pure restarts prenex_to miniscope
         | "po" -> ST.Partial_order
         | other ->
             Printf.eprintf "unknown heuristic %S (use po or to)\n" other;
+            exit 2);
+      ST.propagation =
+        (match propagation with
+        | "watched" -> ST.Watched
+        | "counters" -> ST.Counters
+        | other ->
+            Printf.eprintf
+              "unknown propagation engine %S (use watched or counters)\n"
+              other;
             exit 2);
       ST.learning = not no_learning;
       ST.pure_literals = not no_pure;
@@ -304,6 +313,14 @@ let heuristic_arg =
         ~doc:"Branching mode: $(b,po) (partial-order, the paper's \
               QuBE(PO)) or $(b,to) (total-order, QuBE(TO)).")
 
+let propagation_arg =
+  Arg.(value & opt string "watched"
+    & info [ "propagation" ] ~docv:"ENGINE"
+        ~doc:"Propagation engine: $(b,watched) (lazy two-watched-literal \
+              tracking of learned constraints, the default) or \
+              $(b,counters) (eager per-assignment counters on every \
+              constraint, the reference engine).")
+
 let no_learning_arg =
   Arg.(value & flag & info [ "no-learning" ] ~doc:"Disable good/nogood learning.")
 
@@ -396,7 +413,8 @@ let cmd =
                                 or memory cap reached";
          Cmd.Exit.info 2 ~doc:"unreadable or malformed input" ])
     Term.(
-      const run $ file_arg $ heuristic_arg $ no_learning_arg $ no_pure_arg
+      const run $ file_arg $ heuristic_arg $ propagation_arg
+      $ no_learning_arg $ no_pure_arg
       $ restarts_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
       $ max_nodes_arg $ timeout_arg $ mem_limit_arg $ portfolio_arg
       $ json_status_arg $ stats_arg $ trace_arg $ trace_every_arg

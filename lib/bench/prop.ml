@@ -1,0 +1,194 @@
+(* Watched-literal vs counter propagation on the DIA workload: the
+   evidence artifact behind [config.propagation] (ISSUE 5).
+
+   One record per model: the same PO incremental phi_0..phi_d iteration
+   runs once per engine — they must agree on the diameter — with an
+   observability collector capturing the propagation count and the
+   wall time spent inside the propagate phase.
+
+   Two throughput numbers per run:
+
+   - wall props/sec: propagations over the whole iteration's wall time.
+     With learning on the engines take different trajectories (the
+     propagation *order* differs, so reasons and learned constraints
+     differ), which blurs this number in either direction.
+
+   - engine props/sec: propagations over the wall time spent inside
+     the propagate and backtrack spans only.  Every propagation is
+     assigned once (propagate) and unassigned at most once
+     (backtrack), and both walks are exactly the bookkeeping the two
+     engines implement differently — the counter engine updates every
+     occurrence list on both sides, the watched engine touches two
+     watches going down and repairs the parked registry coming back
+     up.  This isolates the data-structure cost per propagation from
+     trajectory luck and from analysis/heuristic time, so it is the
+     headline metric. *)
+
+module ST = Qbf_solver.Solver_types
+module D = Qbf_models.Diameter
+module Obs = Qbf_obs.Obs
+module Metrics = Qbf_obs.Metrics
+module Profile = Qbf_obs.Profile
+module Json = Qbf_obs.Json
+module Limits = Qbf_run.Limits
+
+type engine_run = {
+  report : D.report;
+  time_s : float; (* wall seconds over the whole iteration *)
+  propagations : int;
+  propagate_s : float; (* wall seconds inside the propagate phase *)
+  backtrack_s : float; (* wall seconds inside the backtrack phase *)
+  decisions : int;
+  learned : int; (* learned clauses + cubes over the whole iteration *)
+}
+
+type result = {
+  model : string;
+  watched : engine_run;
+  counters : engine_run;
+}
+
+let wall_props_per_sec r =
+  float_of_int r.propagations /. Float.max 1e-6 r.time_s
+
+let engine_props_per_sec r =
+  float_of_int r.propagations /. Float.max 1e-6 (r.propagate_s +. r.backtrack_s)
+
+(* watched-over-counters on the engine metric; > 1 means watching wins *)
+let speedup r = engine_props_per_sec r.watched /. engine_props_per_sec r.counters
+let wall_speedup r = wall_props_per_sec r.watched /. wall_props_per_sec r.counters
+
+let agree r =
+  r.watched.report.D.diameter = r.counters.report.D.diameter
+  || r.watched.report.D.diameter = None
+  || r.counters.report.D.diameter = None
+
+let run_engine ~timeout_s ~max_n ~propagation model =
+  let deadline = Limits.Deadline.after timeout_s in
+  let obs = Obs.make ~metrics:(Metrics.create ()) ~profile:(Profile.create ()) () in
+  let config =
+    {
+      ST.default_config with
+      ST.heuristic = ST.Partial_order;
+      ST.propagation;
+      ST.obs = Some obs;
+      ST.should_stop = Some (fun () -> Limits.Deadline.expired deadline);
+      ST.stop_interval = 64;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = D.compute_report ~config ~max_n ~mode:`Incremental model in
+  let time_s = Unix.gettimeofday () -. t0 in
+  let m = Metrics.snapshot obs.Obs.metrics in
+  let counter name =
+    try List.assoc name m.Metrics.counters with Not_found -> 0
+  in
+  let phase_wall name =
+    List.fold_left
+      (fun acc (sp : Profile.span_snapshot) ->
+        if sp.Profile.phase = name then acc +. sp.Profile.wall_s else acc)
+      0.
+      (Profile.snapshot obs.Obs.profile)
+  in
+  {
+    report;
+    time_s;
+    propagations = counter "propagations";
+    propagate_s = phase_wall "propagate";
+    backtrack_s = phase_wall "backtrack";
+    decisions = counter "decisions";
+    learned = counter "learned_clauses" + counter "learned_cubes";
+  }
+
+let run ?(timeout_s = 60.) ?(max_n = 64) model =
+  {
+    model = Qbf_models.Model.name model;
+    watched = run_engine ~timeout_s ~max_n ~propagation:ST.Watched model;
+    counters = run_engine ~timeout_s ~max_n ~propagation:ST.Counters model;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_prop.json *)
+
+let schema_version = 1
+
+let json_of_engine (r : engine_run) =
+  Json.Obj
+    [
+      ( "diameter",
+        match r.report.D.diameter with
+        | Some d -> Json.Int d
+        | None -> Json.Null );
+      ("lower_bound", Json.Int r.report.D.lower_bound);
+      ( "stop",
+        Json.String
+          (match r.report.D.stop with
+          | D.Complete -> "complete"
+          | D.Bound_exceeded -> "bound-exceeded"
+          | D.Solver_stopped -> "solver-stopped") );
+      ("time_s", Json.Float r.time_s);
+      ("propagations", Json.Int r.propagations);
+      ("propagate_s", Json.Float r.propagate_s);
+      ("backtrack_s", Json.Float r.backtrack_s);
+      ("decisions", Json.Int r.decisions);
+      ("learned", Json.Int r.learned);
+      ("wall_props_per_sec", Json.Float (wall_props_per_sec r));
+      ("engine_props_per_sec", Json.Float (engine_props_per_sec r));
+    ]
+
+let json_of_result r =
+  Json.Obj
+    [
+      ("model", Json.String r.model);
+      ("watched", json_of_engine r.watched);
+      ("counters", json_of_engine r.counters);
+      ("engine_speedup", Json.Float (speedup r));
+      ("wall_speedup", Json.Float (wall_speedup r));
+      ("agree", Json.Bool (agree r));
+    ]
+
+(* Write BENCH_prop.json under [dir] (created if missing). *)
+let write_json ~dir results =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "BENCH_prop.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "qube-bench-prop");
+                ("v", Json.Int schema_version);
+                ("results", Json.List (List.map json_of_result results));
+              ]));
+      output_char oc '\n');
+  file
+
+(* ------------------------------------------------------------------ *)
+(* Console table *)
+
+let header =
+  [
+    "model"; "d"; "watch (s)"; "count (s)"; "learned";
+    "props/s W"; "props/s C"; "speedup";
+  ]
+
+let fmt_rate v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else Printf.sprintf "%.0fk" (v /. 1e3)
+
+let row_cells r =
+  [
+    r.model;
+    (match r.watched.report.D.diameter with
+    | Some d -> string_of_int d
+    | None -> Printf.sprintf ">=%d" r.watched.report.D.lower_bound);
+    Printf.sprintf "%.3f" r.watched.time_s;
+    Printf.sprintf "%.3f" r.counters.time_s;
+    string_of_int r.watched.learned;
+    fmt_rate (engine_props_per_sec r.watched);
+    fmt_rate (engine_props_per_sec r.counters);
+    Printf.sprintf "%.2fx" (speedup r);
+  ]

@@ -12,6 +12,7 @@ type phase =
   | Prenex (* prenexing / miniscoping / preprocessing *)
   | Build (* solver-state construction from the formula *)
   | Propagate (* the propagation loop *)
+  | Backtrack (* trail undo: unassign bookkeeping (nests in Analyze) *)
   | Analyze (* conflict/solution analysis incl. backjumping *)
   | Heuristic (* branching-variable selection *)
   | Solve (* the whole search call, outer span *)
@@ -21,6 +22,7 @@ let phase_to_string = function
   | Prenex -> "prenex"
   | Build -> "build"
   | Propagate -> "propagate"
+  | Backtrack -> "backtrack"
   | Analyze -> "analyze"
   | Heuristic -> "heuristic"
   | Solve -> "solve"
@@ -30,12 +32,15 @@ let phase_index = function
   | Prenex -> 1
   | Build -> 2
   | Propagate -> 3
-  | Analyze -> 4
-  | Heuristic -> 5
-  | Solve -> 6
+  | Backtrack -> 4
+  | Analyze -> 5
+  | Heuristic -> 6
+  | Solve -> 7
 
-let all_phases = [ Parse; Prenex; Build; Propagate; Analyze; Heuristic; Solve ]
-let num_phases = 7
+let all_phases =
+  [ Parse; Prenex; Build; Propagate; Backtrack; Analyze; Heuristic; Solve ]
+
+let num_phases = 8
 
 type t = {
   clock : unit -> float;
@@ -102,7 +107,11 @@ let render_table (s : snapshot) =
   Buffer.add_string buf
     (Printf.sprintf "%-10s %10s %12s %12s %7s\n" "phase" "calls" "wall(s)"
        "cpu(s)" "wall%");
+  (* backtrack nests inside analyze, so it is excluded from the
+     top-level partition AND from the inner sum (else the [other] row
+     would double-count it against solve) *)
   let inner = [ "propagate"; "analyze"; "heuristic" ] in
+  let nested = "backtrack" :: inner in
   let solve_wall =
     List.fold_left
       (fun acc sp -> if sp.phase = "solve" then sp.wall_s else acc)
@@ -117,7 +126,7 @@ let render_table (s : snapshot) =
   let total =
     List.fold_left
       (fun acc sp ->
-        if List.mem sp.phase inner then acc else acc +. sp.wall_s)
+        if List.mem sp.phase nested then acc else acc +. sp.wall_s)
       0. s
   in
   List.iter

@@ -178,6 +178,10 @@ let analyze_conflict s cid0 =
             let beta = max_level_of_others s w e in
             let lits = Array.of_list (sorted_lits w) in
             let from_level = S.current_level s in
+            (* backtrack *before* adding: the constraint computes its
+               counters — or, under the watched engine, picks its watches
+               and announces its asserting unit — against the
+               post-backjump assignment *)
             S.backtrack s beta;
             let _cid =
               S.add_constraint s Clause_c ~learned:true ~frame:!max_frame lits

@@ -43,8 +43,14 @@ let rescan_falsified s =
     if cid >= Vec.length s.S.constrs then None
     else
       let c = S.constr s cid in
-      if c.active && c.kind = Clause_c && c.fixed = 0 && c.ue = 0 then
-        Some cid
+      if
+        c.active && c.kind = Clause_c
+        &&
+        if c.w1 >= 0 then
+          let ue, _, fixed = S.scan_status s c in
+          fixed = 0 && ue = 0
+        else c.fixed = 0 && c.ue = 0
+      then Some cid
       else go (cid + 1)
   in
   go 0
@@ -135,6 +141,12 @@ let solve_state s =
         maybe_rescale ();
         continue_with (analyzed_solution src)
     | Propagate.P_none ->
+        if s.S.config.debug_checks then begin
+          match S.find_missed_discovery s with
+          | Some (_, what) ->
+              failwith ("debug_checks: missed " ^ what ^ " at fixpoint")
+          | None -> ()
+        end;
         if budget_exhausted s then Unknown
         else if decided () then loop ()
         else begin

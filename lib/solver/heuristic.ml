@@ -48,9 +48,12 @@ let pick_partial_order s =
   if nb = 0 then -1
   else begin
     (* Bottom-up block scores; block ids are DFS-preorder, so children
-       always have larger ids than their parent. *)
-    let block_best = Array.make nb 0. in
-    let child_max = Array.make nb 0. in
+       always have larger ids than their parent.  The score arrays are
+       preallocated in State (sized by create/extend): the descending
+       pass writes every cell before any read, so no clearing is needed
+       and no allocation happens per decision. *)
+    let block_best = s.S.po_block_best in
+    let child_max = s.S.po_child_max in
     for b = nb - 1 downto 0 do
       let cm =
         Array.fold_left

@@ -33,13 +33,30 @@ type outcome =
   | P_solution of source
   | P_none (* quiescent: decide next *)
 
+(* Watch-maintained constraints carry no counters: their re-verification
+   scans the assignment ([S.scan_status]).  When such an entry turns out
+   stale, its watches were left broken at push time, so the invariant is
+   restored ([S.repair_watches]) — which may legitimately re-enqueue it
+   elsewhere (a parked unit clause is pushed on unit_q, never back on
+   the queue being drained, so draining terminates). *)
+
 let pop_conflict s =
   let rec go () =
     if Vec.is_empty s.S.conflict_q then None
     else
       let cid = Vec.pop s.S.conflict_q in
       let c = S.constr s cid in
-      if c.active && c.kind = Clause_c && c.fixed = 0 && c.ue = 0 then Some cid
+      c.cq_mark <- 0;
+      if not (c.active && c.kind = Clause_c) then go ()
+      else if c.w1 >= 0 then begin
+        let ue, _, fixed = S.scan_status s c in
+        if fixed = 0 && ue = 0 then Some cid
+        else begin
+          S.repair_watches s cid c;
+          go ()
+        end
+      end
+      else if c.fixed = 0 && c.ue = 0 then Some cid
       else go ()
   in
   go ()
@@ -50,7 +67,17 @@ let pop_cube_solution s =
     else
       let cid = Vec.pop s.S.cubesat_q in
       let c = S.constr s cid in
-      if c.active && c.kind = Cube_c && c.fixed = 0 && c.uu = 0 then Some cid
+      c.cq_mark <- 0;
+      if not (c.active && c.kind = Cube_c) then go ()
+      else if c.w1 >= 0 then begin
+        let _, uu, fixed = S.scan_status s c in
+        if fixed = 0 && uu = 0 then Some cid
+        else begin
+          S.repair_watches s cid c;
+          go ()
+        end
+      end
+      else if c.fixed = 0 && c.uu = 0 then Some cid
       else go ()
   in
   go ()
@@ -117,12 +144,49 @@ let pop_unit s =
     else
       let cid = Vec.pop s.S.unit_q in
       let c = S.constr s cid in
+      c.uq_mark <- 0;
       let fired =
-        c.active && c.fixed = 0
+        c.active
         &&
-        match c.kind with
-        | Clause_c -> c.ue = 1 && try_unit_clause s cid c
-        | Cube_c -> c.uu = 1 && try_unit_cube s cid c
+        if c.w1 >= 0 then begin
+          let ue, uu, fixed = S.scan_status s c in
+          if fixed <> 0 then begin
+            S.repair_watches s cid c;
+            false
+          end
+          else
+            match c.kind with
+            | Clause_c ->
+                if ue = 0 then begin
+                  (* became conflicting after it was queued as unit *)
+                  S.push_conflict s cid c;
+                  false
+                end
+                else
+                  ue = 1
+                  && (try_unit_clause s cid c
+                     ||
+                     (* blocked: a compatible pair (the forced literal +
+                        its blocker) exists, rewatch on it *)
+                     (S.repair_watches s cid c;
+                      false))
+            | Cube_c ->
+                if uu = 0 then begin
+                  S.push_cubesat s cid c;
+                  false
+                end
+                else
+                  uu = 1
+                  && (try_unit_cube s cid c
+                     || (S.repair_watches s cid c;
+                         false))
+        end
+        else
+          c.fixed = 0
+          &&
+          match c.kind with
+          | Clause_c -> c.ue = 1 && try_unit_clause s cid c
+          | Cube_c -> c.uu = 1 && try_unit_cube s cid c
       in
       fired || go ()
   in

@@ -4,6 +4,14 @@ type kind =
   | Clause_c (* disjunction: element of the matrix or learned nogood *)
   | Cube_c (* conjunction: learned good *)
 
+(* How constraint state is discovered during search (see State):
+   [Counters] maintains eager per-constraint counters on every
+   assign/unassign; [Watched] keeps the counters for original
+   constraints (purity needs them) but tracks learned constraints with
+   two watched literals, making backtrack O(1) per literal on the
+   learned database. *)
+type prop_engine = Counters | Watched
+
 type constr = {
   lits : int array; (* literals as raw ints, see {!Qbf_core.Lit} *)
   kind : kind;
@@ -20,8 +28,26 @@ type constr = {
   mutable uu : int; (* unassigned universal literals *)
   mutable fixed : int;
       (* clauses: number of currently true literals (satisfied when > 0);
-         cubes: number of currently false literals (dead when > 0) *)
+         cubes: number of currently false literals (dead when > 0).
+         Meaningless (left at 0) for watch-maintained constraints, whose
+         state is recomputed by scanning [lits] on demand. *)
   mutable active : bool;
+  mutable w1 : int;
+  mutable w2 : int;
+      (* the two watched literals, or -1 when the constraint is
+         counter-maintained; [w1 = w2] on unit-size constraints *)
+  mutable uq_mark : int;
+  mutable cq_mark : int;
+      (* discovery-queue dedup stamps, compared against State.qepoch so
+         one propagation wave enqueues a constraint at most once on
+         unit_q ([uq_mark]) and on conflict_q/cubesat_q ([cq_mark]) *)
+  mutable parked : bool;
+      (* watch-maintained constraint currently lacking a structurally
+         compatible pair of eligible watches (fired unit, announced
+         conflict/solution, or satisfied with a lone eligible literal).
+         Registered in State.parked and re-repaired after every
+         backtrack, since assignments that make it actionable again may
+         not touch its watches *)
 }
 
 type antecedent =
@@ -139,6 +165,12 @@ type config = {
   learning : bool; (* nogood + good learning with backjumping *)
   pure_literals : bool;
   heuristic : heuristic_mode;
+  propagation : prop_engine;
+  debug_checks : bool;
+      (* assert propagation completeness at every fixpoint: no active
+         constraint may be undetectedly conflicting, unit, or (for
+         cubes) satisfied when the engine is about to branch.  O(db)
+         per decision — tests and fuzzing only *)
   rescale_interval : int; (* activity-halving period, in leaves *)
   restarts : bool; (* Luby-scheduled restarts (keep learned constraints) *)
   restart_base : int; (* leaves per Luby unit *)
@@ -178,6 +210,8 @@ let default_config =
     learning = true;
     pure_literals = true;
     heuristic = Partial_order;
+    propagation = Watched;
+    debug_checks = false;
     max_decisions = None;
     max_nodes = None;
     should_stop = None;

@@ -14,13 +14,22 @@
      cube unit          <-> fixed = 0 && uu = 1  (+ scope condition)
    Constraints whose counters reach these states are pushed on discovery
    queues which the propagation loop re-verifies (they may be stale after
-   backtracking, which clears the queues). *)
+   backtracking, which clears the queues).
+
+   Under [config.propagation = Watched] the counter scheme above is kept
+   for *original* constraints only (purity needs exact [pos_unsat] and
+   [unsat_originals] transitions) while learned constraints — the
+   unbounded part of the database — are maintained lazily with two
+   watched literals: they are absent from the occurrence lists, so
+   [unassign] never touches them and [assign] visits only the watch
+   lists of the literal being falsified (truthified for cubes). *)
 
 open Qbf_core
 open Solver_types
 module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Trace = Qbf_obs.Trace
+module Profile = Qbf_obs.Profile
 
 let var l = l lsr 1
 let neg l = l lxor 1
@@ -39,7 +48,20 @@ type t = {
   stats : stats;
   constrs : constr Vec.t;
   mutable occ : int Vec.t array;
-      (* per literal: ids of constraints containing it *)
+      (* per literal: ids of counter-maintained constraints containing it
+         (all constraints under [Counters]; originals only under
+         [Watched]) *)
+  use_watches : bool; (* config.propagation = Watched, cached *)
+  mutable watch_cl : int Vec.t array;
+      (* per literal: watch-maintained clauses watching it, visited when
+         the literal becomes false *)
+  mutable watch_cu : int Vec.t array;
+      (* per literal: watch-maintained cubes watching it, visited when
+         the literal becomes true *)
+  mutable qepoch : int;
+      (* current propagation-wave id for queue-push dedup: bumped by
+         {!clear_queues}; a constraint whose stamp equals it is already
+         enqueued this wave (see Solver_types.constr) *)
   mutable value : int array; (* per var: -1 unassigned / 0 false / 1 true *)
   mutable reason : antecedent array; (* per var *)
   mutable vlevel : int array; (* per var: decision level of assignment *)
@@ -65,6 +87,10 @@ type t = {
   unit_q : int Vec.t;
   cubesat_q : int Vec.t;
   pure_q : int Vec.t; (* candidate *absent* literals *)
+  parked_q : int Vec.t;
+      (* watch-maintained constraints whose watches are not a
+         structurally compatible eligible pair (see constr.parked);
+         re-repaired against the new assignment after every backtrack *)
   pure_defer_q : int Vec.t;
       (* existential pure candidates whose assignment would satisfy
          clauses; deferred until quiescence so that satisfied-elsewhere
@@ -80,6 +106,11 @@ type t = {
          ≺-scope, so existential reduction removes it from any cube *)
   mutable is_aux : bool array;
       (* per var: declared auxiliary (config.aux_hint) and reducible *)
+  mutable po_block_best : float array;
+  mutable po_child_max : float array;
+      (* per block: scratch score arrays of Heuristic.pick_partial_order,
+         preallocated here so the PO heuristic does not allocate on every
+         decision; fully rewritten on each use *)
   mutable frame_level : int;
       (* current session push/pop frame; constraints added now are
          tagged with it (see Solver_types.constr and Session) *)
@@ -98,6 +129,11 @@ let dummy_constr =
     uu = 0;
     fixed = 0;
     active = false;
+    w1 = -1;
+    w2 = -1;
+    uq_mark = 0;
+    cq_mark = 0;
+    parked = false;
   }
 
 (* [precedes s v v'] is the paper's z ≺ z' test, eq. (13). *)
@@ -112,34 +148,320 @@ let current_level s = Vec.length s.trail_lim
 let constr s cid = Vec.get s.constrs cid
 let event s e = match s.config.on_event with None -> () | Some f -> f e
 
+(* --- discovery-queue pushes (deduplicated per wave) --------------------- *)
+
+(* A constraint touched through several literals of one propagation wave
+   is enqueued at most once: its stamp is set to the wave id on push and
+   compared on the next push attempt.  Propagate resets the stamp when
+   it pops an entry, so a constraint whose state changes again later in
+   the same wave (unit first, conflicting after more assignments) is
+   re-enqueued.  [cq_mark] is shared between conflict_q and cubesat_q —
+   a constraint is a clause or a cube, never both. *)
+let push_unit s cid c =
+  if c.uq_mark <> s.qepoch then begin
+    c.uq_mark <- s.qepoch;
+    Vec.push s.unit_q cid
+  end
+
+let push_conflict s cid c =
+  if c.cq_mark <> s.qepoch then begin
+    c.cq_mark <- s.qepoch;
+    Vec.push s.conflict_q cid
+  end
+
+let push_cubesat s cid c =
+  if c.cq_mark <> s.qepoch then begin
+    c.cq_mark <- s.qepoch;
+    Vec.push s.cubesat_q cid
+  end
+
 (* --- purity bookkeeping ------------------------------------------------ *)
+
+(* [pos_unsat] counts *original* clauses only: pure literals are
+   computed on the matrix (as in QuBE), which is also what lets the
+   watched engine keep learned constraints out of the counters. *)
 
 let clause_now_satisfied s c =
   (* fixed went 0 -> 1: the clause leaves the "unsatisfied" pool. *)
-  if not c.learned then s.unsat_originals <- s.unsat_originals - 1;
-  Array.iter
-    (fun m ->
-      s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
-      if s.pos_unsat.(m) = 0 && s.config.pure_literals then
-        Vec.push s.pure_q m)
-    c.lits
+  if not c.learned then begin
+    s.unsat_originals <- s.unsat_originals - 1;
+    Array.iter
+      (fun m ->
+        s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
+        if s.pos_unsat.(m) = 0 && s.config.pure_literals then
+          Vec.push s.pure_q m)
+      c.lits
+  end
 
 let clause_now_unsatisfied s c =
   (* fixed went 1 -> 0 on backtrack. *)
-  if not c.learned then s.unsat_originals <- s.unsat_originals + 1;
-  Array.iter (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1) c.lits
+  if not c.learned then begin
+    s.unsat_originals <- s.unsat_originals + 1;
+    Array.iter (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1) c.lits
+  end
 
 (* --- constraint touch on assignment ------------------------------------ *)
 
 let check_clause_state s cid c =
   if c.fixed = 0 then
-    if c.ue = 0 then Vec.push s.conflict_q cid
-    else if c.ue = 1 then Vec.push s.unit_q cid
+    if c.ue = 0 then push_conflict s cid c
+    else if c.ue = 1 then push_unit s cid c
 
 let check_cube_state s cid c =
   if c.fixed = 0 then
-    if c.uu = 0 then Vec.push s.cubesat_q cid
-    else if c.uu = 1 then Vec.push s.unit_q cid
+    if c.uu = 0 then push_cubesat s cid c
+    else if c.uu = 1 then push_unit s cid c
+
+(* --- watched literals (learned constraints under Watched) --------------- *)
+
+(* Each watch-maintained constraint watches two distinct *structurally
+   compatible* literals: for a clause both existential, or a universal
+   [u] preceding the existential — only such a [u] can block the unit
+   rule of Lemma 5; dually for a cube both universal, or an existential
+   preceding the universal.  Compatibility depends on the prefix alone,
+   never on values, so it survives any backtrack — which is what lets
+   [unassign] skip learned constraints entirely.  A watch must also be
+   *eligible* (non-false for clauses, non-true for cubes); when no
+   eligible compatible pair exists the constraint is conflicting, unit,
+   or satisfied/dead, and is parked on a discovery queue.  Queue entries
+   are candidates that propagation re-verifies, exactly as in the
+   counter scheme: a missed wake-up costs propagations, never
+   correctness (learned constraints are Q-consequences, so ignoring one
+   only loses pruning; original-constraint discovery is eager in both
+   engines). *)
+
+let watch_list s kind m =
+  match kind with Clause_c -> s.watch_cl.(m) | Cube_c -> s.watch_cu.(m)
+
+let eligible s kind m =
+  match kind with
+  | Clause_c -> lit_value s m <> 0
+  | Cube_c -> lit_value s m <> 1
+
+(* Find two distinct eligible, structurally compatible literals: two
+   primaries (existentials of a clause / universals of a cube), else one
+   primary plus an eligible secondary preceding it.  Scans in array
+   order, so the result is deterministic. *)
+let find_watch_pair s c =
+  let primary m =
+    match c.kind with
+    | Clause_c -> s.is_exist.(var m)
+    | Cube_c -> not s.is_exist.(var m)
+  in
+  let p1 = ref (-1) and p2 = ref (-1) in
+  Array.iter
+    (fun m ->
+      if eligible s c.kind m && primary m then
+        if !p1 < 0 then p1 := m else if !p2 < 0 then p2 := m)
+    c.lits;
+  if !p1 < 0 then None
+  else if !p2 >= 0 then Some (!p1, !p2)
+  else begin
+    let p = !p1 in
+    let sec = ref (-1) in
+    Array.iter
+      (fun m ->
+        if
+          !sec < 0
+          && (not (primary m))
+          && eligible s c.kind m
+          && precedes s (var m) (var p)
+        then sec := m)
+      c.lits;
+    if !sec >= 0 then Some (p, !sec) else None
+  end
+
+let unwatch s c cid m =
+  let wl = watch_list s c.kind m in
+  let rec go i =
+    if i < Vec.length wl then
+      if Vec.get wl i = cid then Vec.swap_remove wl i else go (i + 1)
+  in
+  go 0
+
+(* Move the watches of [cid] to [(a, b)].  Safe while iterating the
+   watch list of an *ineligible* literal: that literal is never in the
+   new pair, so its entry — the one at the iteration cursor — is
+   removed. *)
+let set_watch_pair s cid c a b =
+  let keep x = x = a || x = b in
+  let old1 = c.w1 and old2 = c.w2 in
+  if old1 >= 0 then begin
+    if not (keep old1) then unwatch s c cid old1;
+    if old2 <> old1 && not (keep old2) then unwatch s c cid old2
+  end;
+  c.w1 <- a;
+  c.w2 <- b;
+  if a <> old1 && a <> old2 then Vec.push (watch_list s c.kind a) cid;
+  if b <> a && b <> old1 && b <> old2 then Vec.push (watch_list s c.kind b) cid
+
+(* Exact state of a watch-maintained constraint (its counter fields are
+   dead), by scanning the assignment. *)
+let scan_status s c =
+  let ue = ref 0 and uu = ref 0 and fixed = ref 0 in
+  Array.iter
+    (fun m ->
+      match lit_value s m with
+      | -1 -> if s.is_exist.(var m) then incr ue else incr uu
+      | 1 -> if c.kind = Clause_c then incr fixed
+      | _ -> if c.kind = Cube_c then incr fixed)
+    c.lits;
+  (!ue, !uu, !fixed)
+
+let classify_and_queue s cid c =
+  let ue, uu, fixed = scan_status s c in
+  if fixed = 0 then
+    match c.kind with
+    | Clause_c ->
+        if ue = 0 then push_conflict s cid c
+        else if ue = 1 then push_unit s cid c
+    | Cube_c ->
+        if uu = 0 then push_cubesat s cid c
+        else if uu = 1 then push_unit s cid c
+
+(* A compatible eligible watch pair cannot be found right now: flag the
+   constraint and register it for post-backtrack repair.  Assignments
+   can only push such a constraint towards satisfied/dead (its
+   actionable states are queued by [classify_and_queue] first), but a
+   backtrack can silently revive an actionable state without ever
+   touching its watches — e.g. a fired unit whose implied literal is
+   undone while the falsifying literals survive below the target. *)
+let register_parked s cid c =
+  if not c.parked then begin
+    c.parked <- true;
+    Vec.push s.parked_q cid
+  end
+
+(* Restore the two-eligible-watch invariant of [cid] if possible, else
+   re-announce its conflicting/unit/solved state and park it.  Called on
+   constraints popped from a discovery queue without firing: their
+   queued state was stale, but their watches were left broken when the
+   entry was pushed. *)
+let repair_watches s cid c =
+  match find_watch_pair s c with
+  | Some (a, b) -> set_watch_pair s cid c a b
+  | None ->
+      classify_and_queue s cid c;
+      register_parked s cid c
+
+(* Install watches on a fresh watch-maintained constraint.  When no
+   eligible compatible pair exists the constraint is already actionable
+   (or satisfied/dead): park it on its first literals and classify —
+   Analyze relies on a just-learned asserting constraint announcing its
+   unit state here, against the post-backjump assignment.  When a pair
+   exists the constraint is satisfied, two-open, or a blocked unit
+   (primary + unassigned blocker, which is a watch and will wake it),
+   none of which propagation could use now, so no queue entry is made. *)
+let init_watches s cid c =
+  match find_watch_pair s c with
+  | Some (a, b) ->
+      c.w1 <- a;
+      c.w2 <- b;
+      Vec.push (watch_list s c.kind a) cid;
+      Vec.push (watch_list s c.kind b) cid
+  | None ->
+      let n = Array.length c.lits in
+      if n > 0 then begin
+        c.w1 <- c.lits.(0);
+        c.w2 <- c.lits.(if n > 1 then 1 else 0);
+        Vec.push (watch_list s c.kind c.w1) cid;
+        if c.w2 <> c.w1 then Vec.push (watch_list s c.kind c.w2) cid
+      end;
+      classify_and_queue s cid c;
+      register_parked s cid c
+
+(* [m], a watched literal, just became false (clauses) / true (cubes):
+   visit every watch-maintained constraint watching it.  [park] is the
+   value of the other watch under which the constraint is satisfied
+   (clause) or dead (cube) and can be left alone: when the parking
+   literal is later unassigned, every literal assigned after it — in
+   particular [m], falsified at the current level — is unassigned too,
+   restoring the watch invariant. *)
+let visit_watchers s kind m =
+  let wl = watch_list s kind m in
+  let park = match kind with Clause_c -> 1 | Cube_c -> 0 in
+  let i = ref 0 in
+  while !i < Vec.length wl do
+    let cid = Vec.get wl !i in
+    let c = Vec.get s.constrs cid in
+    if not c.active then Vec.swap_remove wl !i (* deactivated: lazy drop *)
+    else if c.w1 <> m && c.w2 <> m then Vec.swap_remove wl !i (* stale *)
+    else
+      let other = if c.w1 = m then c.w2 else c.w1 in
+      if other <> m && lit_value s other = park then incr i
+      else
+        match find_watch_pair s c with
+        | Some (a, b) ->
+            (* [m] is ineligible, so the new pair excludes it and this
+               removes the entry at [!i]: do not advance *)
+            set_watch_pair s cid c a b
+        | None ->
+            classify_and_queue s cid c;
+            register_parked s cid c;
+            incr i
+  done
+
+(* Debug oracle for [config.debug_checks]: scan every active constraint
+   and report one whose state the discovery machinery should have
+   announced — a conflicting or Lemma-5-unit clause, a satisfied or
+   dual-unit cube.  Only meaningful at a propagation fixpoint (all
+   queues drained, nothing fired); the engine calls it right before
+   branching.  O(db) per call, debug builds only. *)
+let find_missed_discovery s =
+  let blocked_unit c =
+    (* the single unassigned primary is blocked by an unassigned
+       secondary that precedes it (Lemma 5 and its dual) *)
+    let prim = ref (-1) in
+    Array.iter
+      (fun m ->
+        if
+          lit_value s m < 0
+          && s.is_exist.(var m) = (c.kind = Clause_c)
+        then prim := m)
+      c.lits;
+    !prim >= 0
+    && Array.exists
+         (fun m ->
+           lit_value s m < 0
+           && s.is_exist.(var m) <> (c.kind = Clause_c)
+           && precedes s (var m) (var !prim))
+         c.lits
+  in
+  let describe cid c what =
+    let b = Buffer.create 128 in
+    Buffer.add_string b
+      (Printf.sprintf "%s (constraint %d, %s%s, watches %d/%d) lits:" what cid
+         (match c.kind with Clause_c -> "clause" | Cube_c -> "cube")
+         (if c.learned then " learned" else "")
+         c.w1 c.w2);
+    Array.iter
+      (fun m ->
+        Buffer.add_string b
+          (Printf.sprintf " %s%d%s=%d"
+             (if s.is_exist.(var m) then "e" else "u")
+             (var m)
+             (if m land 1 = 1 then "'" else "")
+             (lit_value s m)))
+      c.lits;
+    Buffer.contents b
+  in
+  let missed = ref None in
+  for cid = 0 to Vec.length s.constrs - 1 do
+    let c = Vec.get s.constrs cid in
+    if !missed = None && c.active && Array.length c.lits > 0 then begin
+      let ue, uu, fixed = scan_status s c in
+      let bad what = missed := Some (cid, describe cid c what) in
+      if fixed = 0 then
+        match c.kind with
+        | Clause_c ->
+            if ue = 0 then bad "conflicting clause"
+            else if ue = 1 && not (blocked_unit c) then bad "unit clause"
+        | Cube_c ->
+            if uu = 0 then bad "satisfied cube"
+            else if uu = 1 && not (blocked_unit c) then bad "unit cube"
+    end
+  done;
+  !missed
 
 (* [m] (a literal of constraint [cid]) was just assigned; [m_true] says
    whether it became true. *)
@@ -186,7 +508,11 @@ let assign s l ante =
   let b = s.block_of.(v) in
   s.block_unassigned.(b) <- s.block_unassigned.(b) - 1;
   Vec.iter (fun cid -> touch_assign s cid l true) s.occ.(l);
-  Vec.iter (fun cid -> touch_assign s cid (neg l) false) s.occ.(neg l)
+  Vec.iter (fun cid -> touch_assign s cid (neg l) false) s.occ.(neg l);
+  if s.use_watches then begin
+    visit_watchers s Clause_c (neg l);
+    visit_watchers s Cube_c l
+  end
 
 let unassign s l =
   let v = var l in
@@ -198,17 +524,53 @@ let unassign s l =
   s.block_unassigned.(b) <- s.block_unassigned.(b) + 1
 
 let clear_queues s =
+  s.qepoch <- s.qepoch + 1;
   Vec.clear s.conflict_q;
   Vec.clear s.unit_q;
   Vec.clear s.cubesat_q;
   Vec.clear s.pure_q;
   Vec.clear s.pure_defer_q
 
+(* Re-repair every parked constraint against the post-backtrack
+   assignment.  Backtracking is the one transition that can make a
+   watchless constraint actionable without visiting a watch: a fired
+   unit whose implied literal is undone while its falsifying literals
+   survive below the target, a satisfied constraint whose lone true
+   literal is undone, a queued announcement lost to [clear_queues].
+   Constraints that regain a compatible eligible pair leave the
+   registry; the rest are re-announced on the fresh wave and stay
+   parked.  (The counter engine gets the same effect from its eager
+   occ-list walks in [unassign].) *)
+let repair_parked s =
+  let i = ref 0 in
+  while !i < Vec.length s.parked_q do
+    let cid = Vec.get s.parked_q !i in
+    let c = Vec.get s.constrs cid in
+    if not c.active then begin
+      c.parked <- false;
+      Vec.swap_remove s.parked_q !i
+    end
+    else
+      match find_watch_pair s c with
+      | Some (a, b) ->
+          set_watch_pair s cid c a b;
+          c.parked <- false;
+          Vec.swap_remove s.parked_q !i
+      | None ->
+          classify_and_queue s cid c;
+          incr i
+  done
+
 (* Undo all levels deeper than [level]; discovery queues are cleared
    (propagation re-verifies candidates, so losing stale ones is safe). *)
 let backtrack s level =
   assert (level >= 0 && level <= current_level s);
   if level < current_level s then begin
+    (* the backtrack span isolates the unassign bookkeeping — the
+       counter engine's occ-list walks vs the watched engine's parked
+       repair — from the analysis it nests inside *)
+    let o = s.obs in
+    if o.Obs.profile_on then Profile.enter o.Obs.profile Profile.Backtrack;
     event s (E_backtrack level);
     let target = Vec.get s.trail_lim level in
     while Vec.length s.trail > target do
@@ -216,7 +578,9 @@ let backtrack s level =
     done;
     Vec.shrink s.trail_lim level;
     Vec.shrink s.dec_flipped level;
-    clear_queues s
+    clear_queues s;
+    if s.use_watches then repair_parked s;
+    if o.Obs.profile_on then Profile.leave o.Obs.profile Profile.Backtrack
   end
 
 (* Open a new decision level and assign [l] as its branch. *)
@@ -248,30 +612,48 @@ let add_constraint s kind ~learned ?frame lits =
   let frame = match frame with Some f -> f | None -> s.frame_level in
   let cid = Vec.length s.constrs in
   let c =
-    { lits; kind; learned; frame; ue = 0; uu = 0; fixed = 0; active = true }
+    {
+      lits;
+      kind;
+      learned;
+      frame;
+      ue = 0;
+      uu = 0;
+      fixed = 0;
+      active = true;
+      w1 = -1;
+      w2 = -1;
+      uq_mark = 0;
+      cq_mark = 0;
+      parked = false;
+    }
   in
+  Vec.push s.constrs c;
+  let watch_only = s.use_watches && learned in
   Array.iter
     (fun m ->
-      Vec.push s.occ.(m) cid;
       s.counter.(m) <- s.counter.(m) + 1;
-      match lit_value s m with
-      | -1 ->
-          if s.is_exist.(var m) then c.ue <- c.ue + 1 else c.uu <- c.uu + 1
-      | 1 -> if kind = Clause_c then c.fixed <- c.fixed + 1
-      | _ -> if kind = Cube_c then c.fixed <- c.fixed + 1)
+      if not watch_only then begin
+        Vec.push s.occ.(m) cid;
+        match lit_value s m with
+        | -1 ->
+            if s.is_exist.(var m) then c.ue <- c.ue + 1 else c.uu <- c.uu + 1
+        | 1 -> if kind = Clause_c then c.fixed <- c.fixed + 1
+        | _ -> if kind = Cube_c then c.fixed <- c.fixed + 1
+      end)
     lits;
-  Vec.push s.constrs c;
-  (match kind with
-  | Clause_c ->
-      if c.fixed = 0 then begin
-        if not learned then s.unsat_originals <- s.unsat_originals + 1;
-        Array.iter
-          (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1)
-          lits;
-        check_clause_state s cid c
-      end
-      else if not learned then ()
-  | Cube_c -> check_cube_state s cid c);
+  if watch_only then init_watches s cid c
+  else
+    (match kind with
+    | Clause_c ->
+        if c.fixed = 0 then begin
+          if not learned then begin
+            s.unsat_originals <- s.unsat_originals + 1;
+            Array.iter (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1) lits
+          end;
+          check_clause_state s cid c
+        end
+    | Cube_c -> check_cube_state s cid c);
   if not learned then s.num_original <- s.num_original + 1;
   cid
 
@@ -354,6 +736,7 @@ let create formula config =
   let prefix = Formula.prefix formula in
   let nvars = Prefix.nvars prefix in
   let n = max nvars 1 in
+  let nblocks = max (Prefix.num_blocks prefix) 1 in
   let tb = prefix_tables prefix config in
   let s =
     {
@@ -363,6 +746,10 @@ let create formula config =
       stats = empty_stats ();
       constrs = Vec.create dummy_constr;
       occ = Array.init (2 * n) (fun _ -> Vec.create (-1));
+      use_watches = config.propagation = Watched;
+      watch_cl = Array.init (2 * n) (fun _ -> Vec.create (-1));
+      watch_cu = Array.init (2 * n) (fun _ -> Vec.create (-1));
+      qepoch = 1;
       value = Array.make n (-1);
       reason = Array.make n Decision;
       vlevel = Array.make n (-1);
@@ -388,12 +775,15 @@ let create formula config =
       unit_q = Vec.create (-1);
       cubesat_q = Vec.create (-1);
       pure_q = Vec.create (-1);
+      parked_q = Vec.create (-1);
       pure_defer_q = Vec.create (-1);
       seen = Array.make n 0;
       epoch = 0;
       stop_ticks = 0;
       drop_ok = tb.t_drop_ok;
       is_aux = tb.t_is_aux;
+      po_block_best = Array.make nblocks 0.;
+      po_child_max = Array.make nblocks 0.;
       frame_level = 0;
       retracted_constraints = 0;
     }
@@ -424,7 +814,7 @@ let create formula config =
 let drop_from_counters s c =
   c.active <- false;
   Array.iter (fun m -> s.counter.(m) <- s.counter.(m) - 1) c.lits;
-  if c.kind = Clause_c && c.fixed = 0 then
+  if c.kind = Clause_c && (not c.learned) && c.fixed = 0 then
     Array.iter
       (fun m ->
         s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
@@ -490,7 +880,11 @@ let clear_trail s =
   while Vec.length s.trail > 0 do
     unassign s (Vec.pop s.trail)
   done;
-  clear_queues s
+  clear_queues s;
+  (* with an empty assignment almost every parked constraint regains an
+     eligible pair, so the registry drains here instead of carrying
+     stale entries across session mutations *)
+  if s.use_watches then repair_parked s
 
 (* Retract every active constraint whose frame exceeds [frame]: the
    originals of popped frames and every learned constraint whose
@@ -528,9 +922,11 @@ let requeue_all s =
   for cid = 0 to Vec.length s.constrs - 1 do
     let c = Vec.get s.constrs cid in
     if c.active then
-      match c.kind with
-      | Clause_c -> check_clause_state s cid c
-      | Cube_c -> check_cube_state s cid c
+      if c.w1 >= 0 then classify_and_queue s cid c
+      else
+        match c.kind with
+        | Clause_c -> check_clause_state s cid c
+        | Cube_c -> check_cube_state s cid c
   done
 
 (* Re-seed purity candidates (the mirror of the loop in [create]). *)
@@ -586,4 +982,17 @@ let extend s prefix =
     s.occ <-
       Array.init (2 * n) (fun l ->
           if l < Array.length old then old.(l) else Vec.create (-1))
+  end;
+  let grow_watches a =
+    if Array.length a < 2 * n then
+      Array.init (2 * n) (fun l ->
+          if l < Array.length a then a.(l) else Vec.create (-1))
+    else a
+  in
+  s.watch_cl <- grow_watches s.watch_cl;
+  s.watch_cu <- grow_watches s.watch_cu;
+  let nblocks = max (Prefix.num_blocks prefix) 1 in
+  if Array.length s.po_block_best < nblocks then begin
+    s.po_block_best <- Array.make nblocks 0.;
+    s.po_child_max <- Array.make nblocks 0.
   end

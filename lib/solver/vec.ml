@@ -40,6 +40,12 @@ let top v =
   if v.len = 0 then invalid_arg "Vec.top";
   v.data.(v.len - 1)
 
+let swap_remove v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.swap_remove";
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  v.data.(v.len) <- v.dummy
+
 let shrink v n =
   if n < 0 || n > v.len then invalid_arg "Vec.shrink";
   for i = n to v.len - 1 do

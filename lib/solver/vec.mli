@@ -14,6 +14,10 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 val top : 'a t -> 'a
 
+(** [swap_remove v i] removes element [i] by moving the last element
+    into its slot (O(1), does not preserve order). *)
+val swap_remove : 'a t -> int -> unit
+
 (** [shrink v n] truncates to the first [n] elements. *)
 val shrink : 'a t -> int -> unit
 

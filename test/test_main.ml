@@ -4,6 +4,7 @@ let () =
       ("core", Test_core.suite);
       ("solver", Test_solver.suite);
       ("solver-internals", Test_solver_internals.suite);
+      ("prop", Test_prop.suite);
       ("session", Test_session.suite);
       ("prenex", Test_prenex.suite);
       ("io", Test_io.suite);

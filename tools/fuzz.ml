@@ -3,7 +3,7 @@
 
      fuzz [--seeds N] [--seed-base S] [--max-seconds T] [-v]
 
-   Per seed, four phases:
+   Per seed, five phases:
 
    1. differential: a random QBF (tree or prenex) solved under every
       interesting engine configuration — the 8-way learning x pures x
@@ -24,7 +24,14 @@
       path-consistent): solve / push + grow / solve / pop / solve /
       grow at frame 0 / solve on one Qbf_solver.Session with the
       growth contract validated, each call checked against the
-      expansion oracle on the matching one-shot formula.
+      expansion oracle on the matching one-shot formula;
+
+   5. propagation engines: the same formula solved under Watched and
+      Counters (TO and PO, learning on and off) — outcomes must agree
+      with each other and the oracle, and with learning off the two
+      engines run the identical search (learned constraints are the
+      only state they track differently), so decision counts must be
+      equal too.
 
    Stops early when --max-seconds is exceeded (the smoke target in
    test/dune runs a 2-second slice on every `dune runtest`).  Exits
@@ -265,6 +272,54 @@ let () =
              complain seed "SESSION exception: %s" (Printexc.to_string e));
           Qbf_solver.Session.dispose t
         end);
+       (* 5. Watched vs Counters propagation engines *)
+       List.iter
+         (fun (hname, heuristic) ->
+           List.iter
+             (fun learning ->
+               let run propagation =
+                 (* debug_checks asserts at every fixpoint that no
+                    constraint is undetectedly unit/conflicting/solved —
+                    the completeness half of the watched-literal
+                    invariant (and a sanity check on the counters) *)
+                 Qbf_solver.Engine.solve
+                   ~config:
+                     {
+                       ST.default_config with
+                       heuristic;
+                       learning;
+                       propagation;
+                       debug_checks = true;
+                     }
+                   f
+               in
+               match (run ST.Watched, run ST.Counters) with
+               | exception e ->
+                   complain seed "ENGINE exception [%s learn=%b]: %s" hname
+                     learning (Printexc.to_string e)
+               | w, c ->
+               let name o =
+                 match o with
+                 | ST.True -> "true"
+                 | ST.False -> "false"
+                 | ST.Unknown -> "unknown"
+               in
+               if w.ST.outcome <> c.ST.outcome then
+                 complain seed "ENGINE MISMATCH [%s learn=%b] watched=%s counters=%s"
+                   hname learning (name w.ST.outcome) (name c.ST.outcome)
+               else if w.ST.outcome <> (if expected then ST.True else ST.False)
+               then
+                 complain seed "ENGINE ORACLE MISMATCH [%s learn=%b] got=%s expected=%b"
+                   hname learning (name w.ST.outcome) expected
+               else if
+                 (not learning)
+                 && w.ST.stats.ST.decisions <> c.ST.stats.ST.decisions
+               then
+                 complain seed
+                   "ENGINE DECISION DRIFT [%s learn=false] watched=%d counters=%d"
+                   hname w.ST.stats.ST.decisions c.ST.stats.ST.decisions)
+             [ true; false ])
+         [ ("TO", ST.Total_order); ("PO", ST.Partial_order) ];
        incr done_seeds;
        if !verbose && seed mod 100 = 0 then
          Printf.printf "... seed %d (%.1fs)\n%!" seed
