@@ -11,7 +11,7 @@
    (decisions, propagations, backjump lengths), not just seconds.
 
    Sections: table1-ncf table1-fpv table1-dia table1-eval
-             fig3 fig4 fig5 fig6 fig7 dia-inc prop ablation micro
+             fig3 fig4 fig5 fig6 fig7 dia-inc prop serve ablation micro
              all (default: all)
 
    The dia-inc section compares the incremental diameter session
@@ -383,6 +383,24 @@ let prop o =
       let file = Qbf_bench.Prop.write_json ~dir results in
       Printf.printf "wrote %s (%d models)\n%!" file (List.length results))
 
+(* ---------- serving layer ------------------------------------------------ *)
+
+(* Supervised-batch throughput behind bin/qubed: pool scaling at 1/2/4
+   workers, the canonical-hash cache on a batch with duplicates, and the
+   wall-time tax of 0.3 fault injection.  With --json this writes the
+   BENCH_serve.json artifact. *)
+let serve o =
+  section "Serving layer: supervised batch throughput (qubed)";
+  let results = Qbf_bench.Serve.run () in
+  print_endline
+    (Rep.render_table Qbf_bench.Serve.header
+       (List.map Qbf_bench.Serve.row_cells results));
+  match o.json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Qbf_bench.Serve.write_json ~dir results in
+      Printf.printf "wrote %s (%d settings)\n%!" file (List.length results)
+
 (* ---------- ablation ----------------------------------------------------- *)
 
 (* Which engine ingredients carry the DIA behaviour: learning, pures,
@@ -514,6 +532,7 @@ let () =
   if want "fig7" then fig7 o;
   if want "dia-inc" then dia_inc o;
   if want "prop" then prop o;
+  if want "serve" then serve o;
   if want "ablation" then ablation o;
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

@@ -20,10 +20,22 @@ module Profile = Qbf_obs.Profile
 
 let run model_name style propagation max_n timeout bfs verbose profile_on
     incremental =
+  (* Bad input exits 2 with a diagnostic — part of the documented
+     exit-code contract, and raw exceptions must never escape to the
+     cmdliner backstop (exit 125). *)
   let model =
-    if Filename.check_suffix model_name ".smv" then
-      Qbf_models.Smv.parse_file model_name
-    else Qbf_models.Families.by_name model_name
+    match
+      if Filename.check_suffix model_name ".smv" then
+        Qbf_models.Smv.parse_file model_name
+      else Qbf_models.Families.by_name model_name
+    with
+    | model -> model
+    | exception Qbf_models.Smv.Parse_error msg ->
+        Printf.eprintf "qdiameter: %s: %s\n" model_name msg;
+        exit 2
+    | exception (Sys_error msg | Invalid_argument msg | Failure msg) ->
+        Printf.eprintf "qdiameter: %s\n" msg;
+        exit 2
   in
   let style =
     match style with

@@ -125,6 +125,21 @@ let run file heuristic propagation no_learning no_pure restarts prenex_to
           ())
       trace_oc
   in
+  (* Durability: drain and close the sink on *every* exit path — the
+     normal one below, input-error [exit 2], the interrupt-flag exits,
+     and an uncaught exception (the runtime still runs at_exit before
+     dying).  Trace.flush leaves an empty ring, so the second flush on
+     the normal path is a no-op. *)
+  at_exit (fun () ->
+      Option.iter Trace.flush trace;
+      Option.iter
+        (fun oc ->
+          try
+            flush oc;
+            close_out_noerr oc
+          with Sys_error _ -> ())
+        trace_oc;
+      try flush stdout with Sys_error _ -> ());
   let observing = trace <> None || profile_on || json_status in
   let fresh_obs () =
     Obs.make ~metrics:(Metrics.create ()) ?trace

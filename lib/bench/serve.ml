@@ -1,0 +1,191 @@
+(* Serving-layer throughput: the evidence artifact behind bin/qubed.
+
+   One batch of generated instances is pushed through
+   Qbf_serve.Supervisor under a grid of settings:
+
+   - pool scaling: 1, 2 and 4 workers on the same batch (the headline
+     instances/sec numbers — fork + pipe overhead must be repaid by
+     parallelism on multi-instance workloads);
+   - memoization: a batch where every instance appears twice, with the
+     canonical-hash cache on and off (the cached half must be ~free);
+   - fault injection: the 2-worker batch again with a 0.3 injected
+     fault probability — the robustness tax in wall time, with the
+     retry/failure accounting to explain it.
+
+   Every run asserts full decision: a setting that fails to decide the
+   batch is a bug, not a data point. *)
+
+module ST = Qbf_solver.Solver_types
+module Json = Qbf_obs.Json
+module Supervisor = Qbf_serve.Supervisor
+module Protocol = Qbf_serve.Protocol
+
+let schema_version = 1
+
+type measurement = {
+  label : string;
+  workers : int;
+  cache : bool;
+  fault_p : float;
+  jobs : int;
+  decided : int;
+  wall_s : float;
+  throughput : float; (* decided instances per second *)
+  retries : int;
+  cache_hits : int;
+  failures : int; (* classified worker failures over the whole batch *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+(* Inline QDIMACS texts: NCF models at the critical ratio, prenexed.
+   Each costs real search (tens to hundreds of ms, occasionally more),
+   so solving dominates fork + pipe overhead, and the PO/TO asymmetry
+   of the family gives the portfolio race something to win: on hosts
+   with few cores the pool-scaling numbers come as much from racing
+   both configurations at once as from raw parallelism. *)
+let workload ~count =
+  List.init count (fun i ->
+      let rng = Qbf_gen.Rng.create (i + 1) in
+      let f = Qbf_gen.Ncf.generate_ratio rng ~dep:6 ~var:6 ~ratio:2.2 ~lpc:4 in
+      Qbf_io.Qdimacs.to_string
+        (Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up f))
+
+let jobs_of texts =
+  List.mapi (fun i t -> Protocol.job ~id:i (Qbf_run.Run.Inline t)) texts
+
+(* ------------------------------------------------------------------ *)
+(* One measured run *)
+
+let counter summary name =
+  match List.assoc_opt name summary.Supervisor.s_counters with
+  | Some n -> n
+  | None -> 0
+
+let failure_total summary =
+  List.fold_left
+    (fun acc label -> acc + counter summary ("failures_" ^ label))
+    0 Qbf_run.Failure.all_labels
+
+(* The scaling and cache rows run a single configuration per job so the
+   numbers measure pool parallelism, not the portfolio race: racing two
+   configs per job deliberately spends ~2x CPU to cut worst-case
+   latency, which is the wrong thing to divide a throughput by. *)
+let measure ?(race = [ "po-watched" ]) ~label ~workers ~cache ~fault_p texts =
+  let policy =
+    {
+      Supervisor.default_policy with
+      Supervisor.workers;
+      race;
+      cache;
+      fault_p;
+      (* a short per-attempt budget: a rung that wedges is cancelled
+         and escalated rather than dragging the whole batch *)
+      timeout_s = Some 1.0;
+      (* faults are frequent under injection: retry fast and long *)
+      retries = (if fault_p > 0. then 30 else 8);
+      backoff_base_s = 0.01;
+      backoff_max_s = 0.1;
+      hang_s = 0.5;
+      grace_s = 0.25;
+      seed = 7;
+    }
+  in
+  let reports, summary = Supervisor.run ~policy (jobs_of texts) in
+  let decided =
+    List.length
+      (List.filter (fun r -> r.Supervisor.r_outcome <> ST.Unknown) reports)
+  in
+  if decided <> List.length texts then
+    Printf.eprintf "WARNING: serve bench %s: %d/%d decided\n%!" label decided
+      (List.length texts);
+  let wall = summary.Supervisor.s_wall in
+  {
+    label;
+    workers;
+    cache;
+    fault_p;
+    jobs = List.length texts;
+    decided;
+    wall_s = wall;
+    throughput = (if wall > 0. then float_of_int decided /. wall else 0.);
+    retries = counter summary "retries";
+    cache_hits = counter summary "cache_hits";
+    failures = failure_total summary;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The grid *)
+
+let run ?(count = 16) () =
+  let texts = workload ~count in
+  let doubled = texts @ texts in
+  [
+    measure ~label:"1-worker" ~workers:1 ~cache:false ~fault_p:0. texts;
+    measure ~label:"2-workers" ~workers:2 ~cache:false ~fault_p:0. texts;
+    measure ~label:"4-workers" ~workers:4 ~cache:false ~fault_p:0. texts;
+    measure ~label:"dup-no-cache" ~workers:2 ~cache:false ~fault_p:0. doubled;
+    measure ~label:"dup-cache" ~workers:2 ~cache:true ~fault_p:0. doubled;
+    measure ~label:"faults-0.3" ~workers:2 ~cache:false ~fault_p:0.3 texts;
+    (* the full portfolio race, for the record: latency insurance priced
+       in throughput *)
+    measure ~label:"race-2-configs" ~workers:2 ~cache:false ~fault_p:0.
+      ~race:[ "po-watched"; "to-watched" ] texts;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifact *)
+
+let json_of_measurement m =
+  Json.Obj
+    [
+      ("label", Json.String m.label);
+      ("workers", Json.Int m.workers);
+      ("cache", Json.Bool m.cache);
+      ("fault_p", Json.Float m.fault_p);
+      ("jobs", Json.Int m.jobs);
+      ("decided", Json.Int m.decided);
+      ("wall_s", Json.Float m.wall_s);
+      ("throughput", Json.Float m.throughput);
+      ("retries", Json.Int m.retries);
+      ("cache_hits", Json.Int m.cache_hits);
+      ("failures", Json.Int m.failures);
+    ]
+
+let write_json ~dir results =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "BENCH_serve.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "qube-bench-serve");
+                ("v", Json.Int schema_version);
+                ("results", Json.List (List.map json_of_measurement results));
+              ]));
+      output_char oc '\n');
+  file
+
+(* ------------------------------------------------------------------ *)
+(* Console table *)
+
+let header =
+  [ "setting"; "workers"; "jobs"; "wall (s)"; "inst/s"; "retries";
+    "cache hits"; "failures" ]
+
+let row_cells m =
+  [
+    m.label;
+    string_of_int m.workers;
+    Printf.sprintf "%d/%d" m.decided m.jobs;
+    Printf.sprintf "%.2f" m.wall_s;
+    Printf.sprintf "%.1f" m.throughput;
+    string_of_int m.retries;
+    string_of_int m.cache_hits;
+    string_of_int m.failures;
+  ]

@@ -71,13 +71,22 @@ let tokenize chunks =
     chunks;
   List.rev !toks
 
+(* Nesting beyond any legitimate quantifier tree: a hostile or corrupt
+   "((((..." input must come back as a structured error, not blow the
+   OCaml stack (the recursion below — and [tree_of_sexp] after it — is
+   depth-bounded by this cap). *)
+let max_tree_depth = 4096
+
 let parse_sexps ~eof toks =
-  let rec items acc = function
+  let rec items ~depth acc = function
     | `Close _ :: rest -> (List.rev acc, rest)
     | `Open p :: rest ->
-        let inner, rest = items [] rest in
-        items (List (inner, p) :: acc) rest
-    | `Atom (a, p) :: rest -> items (Atom (a, p) :: acc) rest
+        if depth >= max_tree_depth then
+          fail_at ~line:p.pline ~col:p.pcol
+            "quantifier tree nested deeper than %d" max_tree_depth;
+        let inner, rest = items ~depth:(depth + 1) [] rest in
+        items ~depth (List (inner, p) :: acc) rest
+    | `Atom (a, p) :: rest -> items ~depth (Atom (a, p) :: acc) rest
     | [] ->
         fail_at ~line:eof.pline ~col:eof.pcol
           "unbalanced '(' in quantifier tree"
@@ -85,7 +94,7 @@ let parse_sexps ~eof toks =
   let rec top acc = function
     | [] -> List.rev acc
     | `Open p :: rest ->
-        let inner, rest = items [] rest in
+        let inner, rest = items ~depth:1 [] rest in
         top (List (inner, p) :: acc) rest
     | `Atom (a, p) :: rest -> top (Atom (a, p) :: acc) rest
     | `Close p :: _ ->
@@ -145,7 +154,11 @@ let parse_string_exn s =
       | [ "p"; "ncnf"; nv; _nc ] ->
           let nvars =
             match int_of_string_opt nv with
-            | Some n when n >= 0 -> n
+            | Some n when n >= 0 && n <= Qdimacs.max_declared_vars -> n
+            | Some n when n > Qdimacs.max_declared_vars ->
+                fail_at ~line:hline ~col:1
+                  "header declares %d variables (limit %d)" n
+                  Qdimacs.max_declared_vars
             | _ -> fail_at ~line:hline ~col:1 "bad variable count %S" nv
           in
           (* Everything from the `t` marker up to the first clause line is
@@ -223,6 +236,10 @@ let parse_string_res s =
   | f -> Ok f
   | exception Parse_error_at e -> Error e
   | exception Prefix.Ill_formed msg -> Error { line = 0; col = 0; msg }
+  | exception Stack_overflow ->
+      (* belt and braces behind [max_tree_depth]: whatever recursion an
+         adversarial input still finds, loading must return an error *)
+      Error { line = 0; col = 0; msg = "input nested too deeply" }
 
 let parse_string s =
   match parse_string_res s with

@@ -26,6 +26,13 @@ let string_of_error e =
   if e.line > 0 then Printf.sprintf "line %d, column %d: %s" e.line e.col e.msg
   else e.msg
 
+(* A header declaring more variables than this is corrupt or hostile:
+   the loader would otherwise allocate per-variable structures for a
+   count that no real instance reaches, turning a bad byte into an
+   out-of-memory crash.  (The largest published QBF benchmarks are in
+   the low millions of variables.) *)
+let max_declared_vars = 16_777_215
+
 let fail_at ~line ~col fmt =
   Format.kasprintf
     (fun msg -> raise (Parse_error_at { line; col; msg }))
@@ -91,6 +98,9 @@ let parse_tokens toks =
       :: rest ->
         if nvars < 0 then
           fail_at ~line:tline ~col:tcol "negative variable count";
+        if nvars > max_declared_vars then
+          fail_at ~line:tline ~col:tcol
+            "header declares %d variables (limit %d)" nvars max_declared_vars;
         (nvars, nclauses, rest)
     | { tok = Word "p"; tline; tcol } :: _ ->
         fail_at ~line:tline ~col:tcol
@@ -144,6 +154,10 @@ let parse_string_res s =
   | f -> Ok f
   | exception Parse_error_at e -> Error e
   | exception Prefix.Ill_formed msg -> Error { line = 0; col = 0; msg }
+  | exception Stack_overflow ->
+      (* adversarial input must come back structured, never as a blown
+         stack escaping the loader *)
+      Error { line = 0; col = 0; msg = "input nested too deeply" }
 
 let parse_string s =
   match parse_string_res s with

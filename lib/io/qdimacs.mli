@@ -11,6 +11,12 @@ type error = { line : int; col : int; msg : string }
 
 val string_of_error : error -> string
 
+(** Largest variable count a header may declare; beyond it the input is
+    rejected as corrupt rather than allocating per-variable structures
+    for it (a one-line memory bomb otherwise).  Shared with the
+    NQDIMACS reader. *)
+val max_declared_vars : int
+
 exception Parse_error of string
 (** Legacy string exception, raised by the non-[_res] entry points. *)
 

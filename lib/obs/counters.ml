@@ -1,0 +1,45 @@
+(* Named-counter registry for subsystems outside the engine hot path
+   (the serving supervisor, batch drivers).  Unlike {!Metrics}, which is
+   a fixed record tuned for the solver's inner loop, this is a small
+   dynamic registry: counters are created on first use, keep their
+   creation order for stable reporting, and snapshot to JSON with the
+   same dependency-free writer as the rest of the layer.
+
+   Not for the search path: every update hashes the name.  The serving
+   layer counts process-level events (spawns, retries, failure classes),
+   which happen at most a few thousand times per batch. *)
+
+type t = {
+  tbl : (string, int ref) Hashtbl.t;
+  mutable order : string list; (* reverse creation order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let cell t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.tbl name r;
+      t.order <- name :: t.order;
+      r
+
+let incr ?(by = 1) t name =
+  let r = cell t name in
+  r := !r + by
+
+let set t name v = cell t name := v
+let get t name = match Hashtbl.find_opt t.tbl name with
+  | Some r -> !r
+  | None -> 0
+
+(* Counters in creation order; a counter exists from its first [incr]
+   (possibly with value 0 via [touch]/[set]). *)
+let snapshot t =
+  List.rev_map (fun name -> (name, get t name)) t.order
+
+let touch t name = ignore (cell t name)
+
+let to_json t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (snapshot t))

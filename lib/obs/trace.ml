@@ -24,6 +24,14 @@ type kind =
   | Backjump (* learning-driven jump; arg = target level *)
   | Restart (* arg = restart count so far *)
   | Delete (* constraint deactivated; arg = constraint id *)
+  (* Serving-supervisor events (Qbf_serve): for these, [dlevel] carries
+     the worker pid (0 if none), [plevel] the attempt number within the
+     job, and [arg] the job id. *)
+  | Serve_spawn (* worker process forked *)
+  | Serve_dispatch (* job attempt handed to a worker *)
+  | Serve_result (* a worker answered (any outcome) *)
+  | Serve_retry (* job re-queued after a transient failure *)
+  | Serve_kill (* worker signalled (cancellation, hang, garbage) *)
 
 let kind_to_string = function
   | Decision -> "decision"
@@ -36,6 +44,11 @@ let kind_to_string = function
   | Backjump -> "backjump"
   | Restart -> "restart"
   | Delete -> "constraint-delete"
+  | Serve_spawn -> "serve-spawn"
+  | Serve_dispatch -> "serve-dispatch"
+  | Serve_result -> "serve-result"
+  | Serve_retry -> "serve-retry"
+  | Serve_kill -> "serve-kill"
 
 let kind_of_string = function
   | "decision" -> Some Decision
@@ -48,12 +61,18 @@ let kind_of_string = function
   | "backjump" -> Some Backjump
   | "restart" -> Some Restart
   | "constraint-delete" -> Some Delete
+  | "serve-spawn" -> Some Serve_spawn
+  | "serve-dispatch" -> Some Serve_dispatch
+  | "serve-result" -> Some Serve_result
+  | "serve-retry" -> Some Serve_retry
+  | "serve-kill" -> Some Serve_kill
   | _ -> None
 
 let all_kinds =
   [
     Decision; Propagation; Pure; Conflict; Solution; Learn_clause;
-    Learn_cube; Backjump; Restart; Delete;
+    Learn_cube; Backjump; Restart; Delete; Serve_spawn; Serve_dispatch;
+    Serve_result; Serve_retry; Serve_kill;
   ]
 
 let kind_index = function
@@ -67,8 +86,13 @@ let kind_index = function
   | Backjump -> 7
   | Restart -> 8
   | Delete -> 9
+  | Serve_spawn -> 10
+  | Serve_dispatch -> 11
+  | Serve_result -> 12
+  | Serve_retry -> 13
+  | Serve_kill -> 14
 
-let num_kinds = 10
+let num_kinds = 15
 
 (* An emitted event.  [seq] numbers *offered* events (pre-sampling), so
    consumers of a sampled trace can see the gaps; [t] is seconds since

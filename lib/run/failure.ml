@@ -1,0 +1,59 @@
+(* Failure classes of a supervised solving attempt; see failure.mli.
+
+   The classification is deliberately coarse: the supervisor only needs
+   to know (a) which counter to bump, (b) whether to retry, and
+   (c) whether the retry should escalate the budget.  Everything else
+   (the exact signal, the exit code) is preserved inside the class for
+   the report. *)
+
+type t =
+  | Timeout
+  | Resource
+  | Oom
+  | Crash of int
+  | Signalled of int
+  | Garbage
+  | Truncated
+  | Hang
+  | Input of string
+
+let to_string = function
+  | Timeout -> "timeout"
+  | Resource -> "resource"
+  | Oom -> "oom"
+  | Crash _ -> "crash"
+  | Signalled _ -> "signal"
+  | Garbage -> "garbage"
+  | Truncated -> "truncated"
+  | Hang -> "hang"
+  | Input _ -> "input"
+
+let all_labels =
+  [
+    "timeout"; "resource"; "oom"; "crash"; "signal"; "garbage"; "truncated";
+    "hang"; "input";
+  ]
+
+let is_transient = function Input _ -> false | _ -> true
+
+let escalates_budget = function
+  | Timeout | Resource -> true
+  | Oom | Crash _ | Signalled _ | Garbage | Truncated | Hang | Input _ ->
+      false
+
+(* SIGKILL is how the kernel's OOM killer (and our own last-resort
+   escalation) ends a process, so it gets its own class: a worker that
+   was KILLed very likely outgrew memory, and the retry policy treats it
+   as transient but does not grow the budget. *)
+let of_process_status = function
+  | Unix.WEXITED 0 -> None
+  | Unix.WEXITED c -> Some (Crash c)
+  | Unix.WSIGNALED s when s = Sys.sigkill -> Some Oom
+  | Unix.WSIGNALED s -> Some (Signalled s)
+  | Unix.WSTOPPED s -> Some (Signalled s)
+
+let of_stop_reason = function
+  | Run.Timeout -> Timeout
+  | Run.Interrupted Limits.Interrupt.Memory -> Oom
+  | Run.Interrupted _ -> Resource
+  | Run.Node_budget | Run.Budget -> Resource

@@ -193,6 +193,26 @@ let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
   { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped; metrics; profile }
 
 (* ------------------------------------------------------------------ *)
+(* Worker-side entry: load + solve in one call                         *)
+
+type source = Path of string | Inline of string
+
+let source_label = function Path p -> p | Inline _ -> "<inline>"
+
+(* The entry point a serving worker runs per job: structured load (the
+   format is sniffed; [Inline] text gets a synthetic diagnostic label),
+   then a budgeted solve.  Nothing escapes as an exception on the input
+   side, so a worker never dies on a malformed instance — it reports the
+   error over its pipe instead. *)
+let solve_source ?limits ?interrupt ?config src =
+  let loaded =
+    match src with
+    | Path p -> load p
+    | Inline text -> load_string ~file:"<inline>" text
+  in
+  Result.map (fun f -> solve ?limits ?interrupt ?config f) loaded
+
+(* ------------------------------------------------------------------ *)
 (* Budgeted incremental sessions                                       *)
 
 (* The session analogue of [solve]: one growable Qbf_solver.Session

@@ -63,6 +63,24 @@ val solve :
     flag keeps priority).  Passing a shared [interrupt] lets one
     Ctrl-C end a whole suite of runs. *)
 
+type source = Path of string | Inline of string
+(** Where a job's instance text lives: a file on disk, or the QDIMACS /
+    NQDIMACS text itself (batch lines can inline small instances). *)
+
+val source_label : source -> string
+(** The path, or ["<inline>"] — used in diagnostics and reports. *)
+
+val solve_source :
+  ?limits:Limits.t ->
+  ?interrupt:Limits.Interrupt.t ->
+  ?config:ST.config ->
+  source ->
+  (report, Run_error.t) result
+(** The worker-side entry of the serving layer: {!load} (format
+    sniffed) then {!solve} under the same limit plumbing.  Input
+    failures come back as structured errors, so a supervised worker
+    reports them over its pipe instead of dying. *)
+
 (** The session analogue of {!solve}: a growable
     {!Qbf_solver.Session} behind the same limit plumbing.  The
     wall-clock budget and the memory guard apply {e per call} — each

@@ -1,0 +1,198 @@
+(* Worker side of the serving layer: the loop a forked child runs.
+
+   A worker is long-lived — it keeps its process image (and with it the
+   warmed allocator and minor heap) across the whole batch instead of
+   paying a fork+init per job, per the incremental-QBF observation that
+   solver state is worth keeping resident.  Per job it:
+
+   1. reads one dispatch frame from its job pipe (blocking);
+   2. optionally injects a fault (crash / signal-death / hang /
+      garbage), drawn from a per-worker seeded RNG so fault runs are
+      reproducible — this is how the supervisor's recovery paths get
+      exercised in CI and the fuzzer;
+   3. solves through Qbf_run.Run.solve_source under the job's limits,
+      sending heartbeat frames from inside the engine's budget poll so
+      the supervisor can tell "still searching" from "wedged";
+   4. writes one result frame and loops.
+
+   Workers never touch stdout/stderr (the supervisor owns them) and
+   never raise across the loop: any escaped exception becomes a
+   nonzero _exit the supervisor classifies as a crash. *)
+
+module ST = Qbf_solver.Solver_types
+module Run = Qbf_run.Run
+module Limits = Qbf_run.Limits
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio configurations, by wire label                             *)
+
+(* The racing members pair the paper's branching orders with the two
+   propagation engines — the complementary-strength variants the
+   quantifier-structure study motivates.  [to-*] rungs get restarts and
+   DB reduction (they profit from them; PO's tree scores already
+   diversify). *)
+let config_of_label label =
+  let base = ST.default_config in
+  match label with
+  | "po-watched" ->
+      Some { base with ST.heuristic = ST.Partial_order;
+             ST.propagation = ST.Watched }
+  | "po-counters" ->
+      Some { base with ST.heuristic = ST.Partial_order;
+             ST.propagation = ST.Counters }
+  | "to-watched" ->
+      Some { base with ST.heuristic = ST.Total_order;
+             ST.propagation = ST.Watched; ST.restarts = true;
+             ST.db_reduction = true }
+  | "to-counters" ->
+      Some { base with ST.heuristic = ST.Total_order;
+             ST.propagation = ST.Counters; ST.restarts = true;
+             ST.db_reduction = true }
+  | _ -> None
+
+let known_labels = [ "po-watched"; "to-watched"; "po-counters"; "to-counters" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+type fault = Crash_exit | Crash_signal | Oom_kill | Hang | Emit_garbage
+
+let crash_exit_code = 86
+(* Recognisable in reports; anything nonzero classifies as Crash. *)
+
+(* Draw a fault with probability [p] per dispatch.  The RNG is the
+   worker's own (seeded at spawn), so a retry of the same job re-rolls
+   the dice — that is what makes retries converge under injection. *)
+let draw_fault rng p =
+  if p <= 0. then None
+  else if Random.State.float rng 1.0 >= p then None
+  else
+    Some
+      (match Random.State.int rng 5 with
+      | 0 -> Crash_exit
+      | 1 -> Crash_signal
+      | 2 -> Oom_kill
+      | 3 -> Hang
+      | _ -> Emit_garbage)
+
+let perform_fault out = function
+  | Crash_exit -> Unix._exit crash_exit_code
+  | Crash_signal ->
+      (* a segfault's signature without provoking a real one *)
+      Unix.kill (Unix.getpid ()) Sys.sigsegv;
+      Unix._exit crash_exit_code
+  | Oom_kill ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      Unix._exit crash_exit_code
+  | Hang ->
+      (* wedge silently: no heartbeats, no result, no exit — exactly
+         what the supervisor's hang deadline exists for *)
+      let rec loop () = Unix.sleepf 3600.; loop () in
+      loop ()
+  | Emit_garbage ->
+      (* not a frame: no digit prefix, embedded newlines, then die *)
+      let noise = "\xff\xfenot a frame at all\n{{{{\x00garbage\n" in
+      (try ignore (Unix.write_substring out noise 0 (String.length noise))
+       with Unix.Unix_error _ -> ());
+      Unix._exit crash_exit_code
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
+
+let heartbeat_interval_s = 0.25
+
+let answer_of_report ~id ~attempt (r : Run.report) =
+  {
+    Protocol.a_id = id;
+    a_attempt = attempt;
+    a_outcome = r.Run.outcome;
+    a_time = r.Run.time;
+    a_stopped = Option.map Run.string_of_stop_reason r.Run.stopped;
+    a_decisions = r.Run.stats.ST.decisions;
+    a_nodes = ST.nodes r.Run.stats;
+    a_error = None;
+  }
+
+let solve_dispatch ~out (d : Protocol.dispatch) =
+  let job = d.Protocol.d_job in
+  let id = job.Protocol.id and attempt = d.Protocol.d_attempt in
+  let config =
+    match config_of_label d.Protocol.d_config with
+    | Some c -> c
+    | None -> ST.default_config
+  in
+  (* Heartbeats ride the engine's budget poll: every [stop_interval]
+     budget checks the engine calls [should_stop], and we piggyback a
+     cheap clock read; a beat goes out every [heartbeat_interval_s].
+     A worker that stops beating is wedged, not slow.  The first beat
+     is sent before the solve so even a long parse is covered. *)
+  Protocol.write_frame out (Protocol.json_of_heartbeat ~id ~attempt);
+  let last_beat = ref (Unix.gettimeofday ()) in
+  let beat () =
+    let now = Unix.gettimeofday () in
+    if now -. !last_beat >= heartbeat_interval_s then begin
+      last_beat := now;
+      Protocol.write_frame out (Protocol.json_of_heartbeat ~id ~attempt)
+    end;
+    false
+  in
+  let config = { config with ST.should_stop = Some beat } in
+  let limits =
+    Limits.make
+      ?timeout_s:job.Protocol.timeout_s
+      ?mem_mb:job.Protocol.mem_mb
+      ?max_nodes:job.Protocol.max_nodes ~poll_interval:64 ()
+  in
+  match Run.solve_source ~limits ~config job.Protocol.source with
+  | Ok report -> answer_of_report ~id ~attempt report
+  | Error e ->
+      {
+        Protocol.a_id = id;
+        a_attempt = attempt;
+        a_outcome = ST.Unknown;
+        a_time = 0.;
+        a_stopped = None;
+        a_decisions = 0;
+        a_nodes = 0;
+        a_error = Some (Qbf_run.Run_error.to_string e);
+      }
+
+(* Entry point of the forked child.  Never returns: exits 0 on a clean
+   pipe close, [crash_exit_code + 1] on an escaped exception. *)
+let main ~input ~output ~fault_p ~seed () =
+  (* The child inherited the parent's handlers and buffers; reset what
+     matters.  SIGTERM must terminate (it is the cancellation protocol);
+     SIGPIPE must not kill us mid-diagnostic; SIGINT is the
+     supervisor's business, a racing worker should only die when told
+     to. *)
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rng = Random.State.make [| seed |] in
+  (* one decoder for the whole session: frames buffered behind the one
+     being read must survive to the next [read_frame] *)
+  let d = Protocol.decoder () in
+  let rec loop () =
+    match Protocol.read_frame ~d input with
+    | Protocol.R_closed -> Unix._exit 0
+    | Protocol.R_garbage _ | Protocol.R_truncated -> Unix._exit 0
+    | Protocol.R_frame j -> (
+        match Protocol.dispatch_of_json j with
+        | Error _ -> Unix._exit 0
+        | Ok d ->
+            (match draw_fault rng fault_p with
+            | Some f -> perform_fault output f
+            | None -> ());
+            let answer = solve_dispatch ~out:output d in
+            (match
+               Protocol.write_frame output (Protocol.json_of_answer answer)
+             with
+            | () -> ()
+            | exception Unix.Unix_error _ ->
+                (* supervisor went away or cancelled us; nothing to say *)
+                Unix._exit 0);
+            loop ())
+  in
+  try loop ()
+  with _ -> Unix._exit (crash_exit_code + 1)

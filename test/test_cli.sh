@@ -1,0 +1,100 @@
+#!/bin/sh
+# Shell-level contract tests for the installed binaries: the exit codes
+# documented in README.md (and in each binary's man page) are part of
+# the scripting interface, and the trace sink must survive SIGTERM.
+#
+#   usage: test_cli.sh QUBE QDIAMETER QUBED HARD_INSTANCE
+#
+# Exit-code contract under test:
+#   qube       10 true | 20 false | 30 unknown | 2 bad input
+#   qdiameter  0 ok | 2 bad input
+#   qubed      0 all decided | 2 input error | 3 some unknown | 4 internal
+set -u
+
+QUBE=$1
+QDIAMETER=$2
+QUBED=$3
+HARD=$4
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+fail() {
+  echo "test_cli: FAIL: $1" >&2
+  exit 1
+}
+
+# expect CODE DESC CMD... : run CMD, demand exit code CODE
+expect() {
+  want=$1
+  desc=$2
+  shift 2
+  "$@" >/dev/null 2>&1
+  got=$?
+  [ "$got" -eq "$want" ] || fail "$desc: expected exit $want, got $got"
+}
+
+cat > "$tmp/true.qdimacs" <<EOF
+p cnf 2 2
+e 1 2 0
+1 2 0
+-1 2 0
+EOF
+
+cat > "$tmp/false.qdimacs" <<EOF
+p cnf 1 2
+e 1 0
+1 0
+-1 0
+EOF
+
+printf 'this is not a qbf\n' > "$tmp/bad.qdimacs"
+
+# ---- qube ----------------------------------------------------------
+expect 10 "qube true instance" "$QUBE" "$tmp/true.qdimacs"
+expect 20 "qube false instance" "$QUBE" "$tmp/false.qdimacs"
+expect 30 "qube starved by node budget" "$QUBE" --max-nodes 1 "$HARD"
+expect 2 "qube malformed input" "$QUBE" "$tmp/bad.qdimacs"
+expect 2 "qube missing file" "$QUBE" "$tmp/does-not-exist.qdimacs"
+
+# ---- qdiameter -----------------------------------------------------
+expect 2 "qdiameter unreadable model" "$QDIAMETER" "$tmp/bad.qdimacs"
+expect 2 "qdiameter missing model" "$QDIAMETER" "$tmp/no-such-model.smv"
+
+# ---- qubed ---------------------------------------------------------
+{
+  echo "$tmp/true.qdimacs"
+  echo "$tmp/false.qdimacs"
+} > "$tmp/batch.jsonl"
+expect 0 "qubed clean batch" "$QUBED" --workers 2 "$tmp/batch.jsonl"
+
+echo "$tmp/bad.qdimacs" > "$tmp/badbatch.jsonl"
+expect 2 "qubed batch with input error" "$QUBED" --workers 2 "$tmp/badbatch.jsonl"
+
+printf '{"path":"%s","max_nodes":1}\n' "$HARD" > "$tmp/starved.jsonl"
+expect 3 "qubed starved job stays unknown" \
+  "$QUBED" --workers 1 --retries 0 "$tmp/starved.jsonl"
+
+expect 2 "qubed missing batch file" "$QUBED" "$tmp/no-such-batch.jsonl"
+
+# ---- trace durability across SIGTERM -------------------------------
+# The JSONL trace sink must be flushed and closed on the signal exit
+# path, not just on a clean finish: after SIGTERM the file has to exist,
+# be non-empty, and contain only complete lines.
+"$QUBE" --trace "$tmp/trace.jsonl" "$HARD" >/dev/null 2>&1 &
+pid=$!
+sleep 0.3
+kill -TERM "$pid" 2>/dev/null
+wait "$pid"
+got=$?
+case "$got" in
+  10|20|30) : ;;  # 30 when the signal lands mid-search; 10/20 if it won first
+  *) fail "qube under SIGTERM: expected exit 10/20/30, got $got" ;;
+esac
+[ -s "$tmp/trace.jsonl" ] || fail "trace file empty after SIGTERM"
+# every line is a complete JSON object: starts with '{' and ends with '}'
+if grep -qv '^{.*}$' "$tmp/trace.jsonl"; then
+  fail "trace file has an incomplete line after SIGTERM"
+fi
+
+echo "test_cli: all exit-code and durability checks passed"

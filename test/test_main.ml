@@ -13,4 +13,5 @@ let () =
       ("models", Test_models.suite);
       ("bench", Test_bench.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -242,6 +242,42 @@ let test_portfolio_interrupted () =
   Alcotest.(check int) "no attempts ran" 0 (List.length pr.Run.attempts);
   Alcotest.check Util.outcome "unknown" ST.Unknown pr.Run.outcome
 
+let test_portfolio_cancelled_mid_attempt () =
+  (* An interrupt latched *during* attempt 1 (here from its own
+     [should_stop] poll, standing in for a signal handler) must end that
+     attempt, keep its partial stats in the report, and stop the
+     escalation chain before any later rung runs. *)
+  let interrupt = Limits.Interrupt.create () in
+  let polls = ref 0 in
+  let tripping_poll () =
+    incr polls;
+    if !polls >= 10 then Limits.Interrupt.trip interrupt;
+    false
+  in
+  let attempts =
+    [
+      {
+        Run.label = "interrupted-rung";
+        budget_s = None;
+        config = { ST.default_config with ST.should_stop = Some tripping_poll };
+      };
+      { Run.label = "never-runs"; budget_s = None; config = ST.default_config };
+    ]
+  in
+  let pr = Run.portfolio ~interrupt attempts (hard_formula ()) in
+  Alcotest.(check int) "chain stopped after the interrupted attempt" 1
+    (List.length pr.Run.attempts);
+  Alcotest.check Util.outcome "unknown" ST.Unknown pr.Run.outcome;
+  let label, r = List.hd pr.Run.attempts in
+  Alcotest.(check string) "only the first rung ran" "interrupted-rung" label;
+  Alcotest.(check bool) "stopped by the interrupt" true
+    (r.Run.stopped = Some (Run.Interrupted Limits.Interrupt.Manual));
+  (* partial stats from the cancelled attempt survive *)
+  let s = r.Run.stats in
+  Alcotest.(check bool) "partial work recorded" true (s.ST.decisions > 0);
+  Alcotest.(check bool) "stats sane" true
+    (ST.nodes s = s.ST.conflicts + s.ST.solutions)
+
 let test_escalating_ladder () =
   let ladder = Run.escalating ~base:0.25 ~factor:4. () in
   Alcotest.(check int) "three rungs" 3 (List.length ladder);
@@ -285,6 +321,8 @@ let suite =
       test_portfolio_conclusive_first;
     Alcotest.test_case "portfolio interrupted" `Quick
       test_portfolio_interrupted;
+    Alcotest.test_case "portfolio cancelled mid-attempt" `Quick
+      test_portfolio_cancelled_mid_attempt;
     Alcotest.test_case "escalating ladder" `Quick test_escalating_ladder;
     Alcotest.test_case "loader roundtrip" `Quick test_load_string_roundtrip;
   ]

@@ -136,6 +136,64 @@ let mutate rng text =
         done;
         Bytes.to_string b
 
+(* Hostile mutations for the crash-robustness phase: unlike [mutate]
+   (which stays printable), these produce the inputs a loader meets in
+   the wild when a file is corrupt, mis-transferred, or adversarial —
+   flipped bits, CRLF/CR line endings, raw binary, mid-byte truncation,
+   duplicated regions. *)
+let hostile rng text =
+  let n = String.length text in
+  if n = 0 then "\xff\x00\xfe"
+  else
+    match Qbf_gen.Rng.int rng 5 with
+    | 0 ->
+        (* flip random bits *)
+        let b = Bytes.of_string text in
+        for _ = 0 to Qbf_gen.Rng.int rng 8 do
+          let i = Qbf_gen.Rng.int rng n in
+          let bit = 1 lsl Qbf_gen.Rng.int rng 8 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit))
+        done;
+        Bytes.to_string b
+    | 1 ->
+        (* CRLF / bare-CR mangling *)
+        let sep = if Qbf_gen.Rng.int rng 2 = 0 then "\r\n" else "\r" in
+        String.split_on_char '\n' text |> String.concat sep
+    | 2 ->
+        (* splice in raw binary noise *)
+        let i = Qbf_gen.Rng.int rng n in
+        let noise =
+          String.init
+            (1 + Qbf_gen.Rng.int rng 16)
+            (fun _ -> Char.chr (Qbf_gen.Rng.int rng 256))
+        in
+        String.sub text 0 i ^ noise ^ String.sub text i (n - i)
+    | 3 ->
+        (* truncate, possibly mid-token *)
+        String.sub text 0 (Qbf_gen.Rng.int rng n)
+    | _ ->
+        (* duplicate a random region (repeated headers, repeated
+           clauses, unbalanced trees) *)
+        let i = Qbf_gen.Rng.int rng n in
+        let len = Qbf_gen.Rng.int rng (n - i) in
+        text ^ String.sub text i len
+
+(* Pathological fixed inputs every loader must reject structurally:
+   nesting designed to blow the parser's stack, headers promising
+   absurd sizes, and pure binary. *)
+let adversarial_corpus =
+  [
+    "p ncnf 2 1\n" ^ String.concat "" (List.init 100_000 (fun _ -> "(e 1 "))
+    ^ "1 2 0\n";
+    "p ncnf 1 1\n" ^ String.make 200_000 '(';
+    "p ncnf 1 1\n" ^ String.make 200_000 ')';
+    "p cnf 1073741824 1073741824\ne 1 0\n1 0\n";
+    "p cnf 1 1\ne 1 0\n-4611686018427387904 0\n";
+    "\x7fELF\x02\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+    "p ncnf 1 1\n(e 1\n";
+    "p cnf 1 1\ne 1 0\n1";
+  ]
+
 let () =
   let seeds = ref 500 in
   let seed_base = ref 0 in
@@ -320,6 +378,58 @@ let () =
                    hname w.ST.stats.ST.decisions c.ST.stats.ST.decisions)
              [ true; false ])
          [ ("TO", ST.Total_order); ("PO", ST.Partial_order) ];
+       (* 6. loader crash-robustness: hostile bytes — bit flips,
+          CRLF/CR mangling, binary splices, mid-token truncation,
+          duplicated regions — through both loaders, both with format
+          sniffing and with each format forced; and random bytes
+          through the serving layer's frame decoder.  Always Ok or a
+          structured Error, never an escaped exception. *)
+       List.iter
+         (fun (text, _) ->
+           for _ = 0 to 5 do
+             let m = hostile rng text in
+             List.iter
+               (fun format ->
+                 match Run.load_string ?format m with
+                 | Ok _ | Error _ -> ()
+                 | exception e ->
+                     complain seed "HOSTILE exception (%s): %s"
+                       (match format with
+                       | None -> "sniffed"
+                       | Some Run.Qdimacs -> "qdimacs"
+                       | Some Run.Nqdimacs -> "nqdimacs")
+                       (Printexc.to_string e))
+               [ None; Some Run.Qdimacs; Some Run.Nqdimacs ]
+           done)
+         texts;
+       (let d = Qbf_serve.Protocol.decoder () in
+        let chunk =
+          Bytes.init
+            (1 + Qbf_gen.Rng.int rng 64)
+            (fun _ -> Char.chr (Qbf_gen.Rng.int rng 256))
+        in
+        match
+          Qbf_serve.Protocol.feed d chunk (Bytes.length chunk);
+          Qbf_serve.Protocol.next d
+        with
+        | Qbf_serve.Protocol.Frame _ | Qbf_serve.Protocol.Garbage _
+        | Qbf_serve.Protocol.More ->
+            ()
+        | exception e ->
+            complain seed "DECODER exception: %s" (Printexc.to_string e));
+       (* the fixed adversarial corpus, once per run *)
+       if seed = !seed_base then
+         List.iter
+           (fun text ->
+             List.iter
+               (fun format ->
+                 match Run.load_string ?format text with
+                 | Ok _ | Error _ -> ()
+                 | exception e ->
+                     complain seed "ADVERSARIAL exception: %s on %d-byte input"
+                       (Printexc.to_string e) (String.length text))
+               [ None; Some Run.Qdimacs; Some Run.Nqdimacs ])
+           adversarial_corpus;
        incr done_seeds;
        if !verbose && seed mod 100 = 0 then
          Printf.printf "... seed %d (%.1fs)\n%!" seed
