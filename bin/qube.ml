@@ -110,7 +110,7 @@ let print_report_comments (r : Run.report) =
 
 let run file heuristic propagation no_learning no_pure restarts prenex_to
     miniscope preprocess max_nodes timeout mem_limit use_portfolio json_status
-    stats trace_file trace_every profile_on =
+    stats trace_file trace_every profile_on telemetry_file =
   (* Observability wiring: the trace (if any) is one JSONL stream shared
      across the whole invocation, while metrics and profile are fresh
      per attempt in portfolio mode so each rung reports its own. *)
@@ -140,10 +140,15 @@ let run file heuristic propagation no_learning no_pure restarts prenex_to
           with Sys_error _ -> ())
         trace_oc;
       try flush stdout with Sys_error _ -> ());
-  let observing = trace <> None || profile_on || json_status in
+  let observing =
+    trace <> None || profile_on || json_status || telemetry_file <> None
+  in
+  (* --telemetry implies the phase profiler: the dump should carry both
+     the metrics registry and the phase spans without needing --profile *)
+  let collect_profile = profile_on || telemetry_file <> None in
   let fresh_obs () =
     Obs.make ~metrics:(Metrics.create ()) ?trace
-      ?profile:(if profile_on then Some (Profile.create ()) else None)
+      ?profile:(if collect_profile then Some (Profile.create ()) else None)
       ()
   in
   (* The top-level collector times parse/prenex and, in single-solve
@@ -293,6 +298,51 @@ let run file heuristic propagation no_learning no_pure restarts prenex_to
       Printf.printf "c trace events offered=%d recorded=%d every=%d\n"
         (Trace.offered t) (Trace.recorded t) (Trace.every t)
   | None -> ());
+  (* Dual-format telemetry dump of this run: the same shape a qubed
+     telemetry consumer expects for a single-process solve — JSON at
+     FILE, Prometheus text at FILE.prom. *)
+  (match telemetry_file with
+  | None -> ()
+  | Some path ->
+      let write p text =
+        let oc = open_out p in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text)
+      in
+      write path
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "qube-telemetry");
+                ("v", Json.Int 1);
+                ("file", Json.String file);
+                ("outcome", Json.String (outcome_word report.Run.outcome));
+                ("report", json_of_report report);
+              ])
+        ^ "\n");
+      let buf = Buffer.create 1024 in
+      (match report.Run.metrics with
+      | Some m ->
+          Buffer.add_string buf
+            (Metrics.snapshot_to_prometheus ~prefix:"qube_engine_" m)
+      | None -> ());
+      (match report.Run.profile with
+      | Some p ->
+          List.iter
+            (fun sp ->
+              let labels = [ ("phase", sp.Profile.phase) ] in
+              let add name v =
+                Buffer.add_string buf
+                  (Printf.sprintf "# TYPE %s counter\n" name);
+                Metrics.prom_sample buf ~name ~labels v
+              in
+              add "qube_profile_calls_total" (float_of_int sp.Profile.calls);
+              add "qube_profile_wall_seconds_total" sp.Profile.wall_s;
+              add "qube_profile_cpu_seconds_total" sp.Profile.cpu_s)
+            p
+      | None -> ());
+      write (path ^ ".prom") (Buffer.contents buf));
   if json_status then begin
     let status =
       Json.Obj
@@ -418,6 +468,13 @@ let profile_arg =
               heuristic phases (wall and CPU) and print a profile \
               table.")
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Write this run's metrics and phase profile to FILE as \
+              JSON and to FILE.prom as Prometheus text (implies metric \
+              and profile collection).")
+
 let cmd =
   let doc = "search-based QBF solver with non-prenex (quantifier tree) support" in
   Cmd.v
@@ -433,6 +490,6 @@ let cmd =
       $ restarts_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
       $ max_nodes_arg $ timeout_arg $ mem_limit_arg $ portfolio_arg
       $ json_status_arg $ stats_arg $ trace_arg $ trace_every_arg
-      $ profile_arg)
+      $ profile_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval cmd)

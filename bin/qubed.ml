@@ -111,7 +111,8 @@ let parse_batch lines =
 (* ---------- main ----------------------------------------------------- *)
 
 let run batch workers race_arg retries timeout mem_limit max_nodes grace hang
-    faults no_cache seed trace_file trace_every summary =
+    faults no_cache seed trace_file trace_every summary telemetry_file
+    telemetry_interval no_stats =
   let race =
     String.split_on_char ',' race_arg
     |> List.map String.trim
@@ -172,11 +173,29 @@ let run batch workers race_arg retries timeout mem_limit max_nodes grace hang
       hang_s = hang;
       fault_p = faults;
       cache = not no_cache;
+      stats = not no_stats;
       seed;
     }
   in
+  (* The aggregator exists whenever --telemetry is given: it rewrites
+     FILE (JSON) and FILE.prom (Prometheus text) every interval from
+     the supervisor loop — scrapeable while the batch runs — and once
+     more, final and durable, on every exit path. *)
+  let telemetry =
+    Option.map
+      (fun path ->
+        let a = Qbf_serve.Telemetry.create () in
+        Qbf_serve.Telemetry.set_sink a ~interval_s:telemetry_interval path;
+        a)
+      telemetry_file
+  in
+  at_exit (fun () ->
+      match (telemetry, telemetry_file) with
+      | Some a, Some path -> (
+          try Qbf_serve.Telemetry.write_files a path with Sys_error _ -> ())
+      | _ -> ());
   let reports, batch_summary =
-    match Supervisor.run ~policy ~obs ~interrupt jobs with
+    match Supervisor.run ~policy ~obs ~interrupt ?telemetry jobs with
     | result -> result
     | exception e ->
         Printf.eprintf "qubed: internal error: %s\n" (Printexc.to_string e);
@@ -298,6 +317,29 @@ let summary_arg =
               registry (dispatches, retries, per-class failures, cache \
               hits, spawns, kills).")
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Write service-level telemetry (lifecycle, latency and \
+              queue-wait histograms, failure mix, cache rate, merged \
+              engine metrics) to FILE as JSON and to FILE.prom as \
+              Prometheus text, rewritten periodically while the batch \
+              runs and finally on exit.  Summarize with $(b,qtop).")
+
+let telemetry_interval_arg =
+  Arg.(value & opt float 1.0
+    & info [ "telemetry-interval" ] ~docv:"S"
+        ~doc:"Seconds between periodic telemetry rewrites ($(b,0) \
+              disables the periodic rewrite; the final write still \
+              happens).")
+
+let no_stats_arg =
+  Arg.(value & flag
+    & info [ "no-worker-stats" ]
+        ~doc:"Do not collect or ship per-worker engine metrics/profile \
+              snapshots (lifecycle and latency telemetry still work; \
+              merged engine series and per-attempt stats are absent).")
+
 let cmd =
   let doc = "supervised fault-tolerant batch QBF solving" in
   Cmd.v
@@ -306,6 +348,6 @@ let cmd =
       const run $ batch_arg $ workers_arg $ race_arg $ retries_arg
       $ timeout_arg $ mem_limit_arg $ max_nodes_arg $ grace_arg $ hang_arg
       $ faults_arg $ no_cache_arg $ seed_arg $ trace_arg $ trace_every_arg
-      $ summary_arg)
+      $ summary_arg $ telemetry_arg $ telemetry_interval_arg $ no_stats_arg)
 
 let () = exit (Cmd.eval cmd)

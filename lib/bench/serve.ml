@@ -72,7 +72,13 @@ let failure_total summary =
    numbers measure pool parallelism, not the portfolio race: racing two
    configs per job deliberately spends ~2x CPU to cut worst-case
    latency, which is the wrong thing to divide a throughput by. *)
-let measure ?(race = [ "po-watched" ]) ~label ~workers ~cache ~fault_p texts =
+(* Baseline rows run with worker stats off so the headline numbers
+   measure the serving layer itself; the telemetry-on row turns the
+   full pipeline back on (collection, shipping, aggregation) and its
+   wall-time ratio against the matching baseline is the telemetry
+   overhead EXPERIMENTS.md records. *)
+let measure ?(race = [ "po-watched" ]) ?(stats = false) ?(telemetry = false)
+    ~label ~workers ~cache ~fault_p texts =
   let policy =
     {
       Supervisor.default_policy with
@@ -80,6 +86,7 @@ let measure ?(race = [ "po-watched" ]) ~label ~workers ~cache ~fault_p texts =
       race;
       cache;
       fault_p;
+      stats;
       (* a short per-attempt budget: a rung that wedges is cancelled
          and escalated rather than dragging the whole batch *)
       timeout_s = Some 1.0;
@@ -92,7 +99,12 @@ let measure ?(race = [ "po-watched" ]) ~label ~workers ~cache ~fault_p texts =
       seed = 7;
     }
   in
-  let reports, summary = Supervisor.run ~policy (jobs_of texts) in
+  let aggregator =
+    if telemetry then Some (Qbf_serve.Telemetry.create ()) else None
+  in
+  let reports, summary =
+    Supervisor.run ~policy ?telemetry:aggregator (jobs_of texts)
+  in
   let decided =
     List.length
       (List.filter (fun r -> r.Supervisor.r_outcome <> ST.Unknown) reports)
@@ -132,6 +144,11 @@ let run ?(count = 16) () =
        in throughput *)
     measure ~label:"race-2-configs" ~workers:2 ~cache:false ~fault_p:0.
       ~race:[ "po-watched"; "to-watched" ] texts;
+    (* the 2-worker batch again with the whole telemetry pipeline live:
+       per-attempt collectors in the workers, stats frames on the wire,
+       supervisor-side aggregation; wall vs the 2-workers row = overhead *)
+    measure ~label:"telemetry-on" ~workers:2 ~cache:false ~fault_p:0.
+      ~stats:true ~telemetry:true texts;
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -196,6 +196,97 @@ let snapshot m =
   in
   { counters; gauges; histograms; per_level_decisions }
 
+(* ---------- snapshot merge ---------------------------------------------- *)
+
+(* Merging cross-process snapshots (the serving supervisor folds one
+   snapshot per worker attempt into a service-level view).  The merge is
+   associative and commutative by construction: counters, histogram
+   buckets and per-level decisions add; maxima take max; derived gauges
+   are recomputed from the merged counters; and every association list
+   in the result is sorted by key so grouping order cannot leak into the
+   merged artifact. *)
+
+let merge_hist_snapshot (a : hist_snapshot) (b : hist_snapshot) =
+  let rec buckets xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (lo1, n1) :: xs', (lo2, n2) :: ys' ->
+        if lo1 < lo2 then (lo1, n1) :: buckets xs' ys
+        else if lo2 < lo1 then (lo2, n2) :: buckets xs ys'
+        else (lo1, n1 + n2) :: buckets xs' ys'
+  in
+  let count = a.count + b.count in
+  let sum = a.sum + b.sum in
+  {
+    count;
+    sum;
+    max_value = max a.max_value b.max_value;
+    mean = (if count = 0 then 0. else float_of_int sum /. float_of_int count);
+    buckets = buckets a.buckets b.buckets;
+  }
+
+(* Sorted-by-key union of two association lists, combining duplicates. *)
+let merge_assoc combine a b =
+  let sorted l = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) l in
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (k1, v1) :: xs', (k2, v2) :: ys' ->
+        if k1 < k2 then (k1, v1) :: go xs' ys
+        else if k2 < k1 then (k2, v2) :: go xs ys'
+        else (k1, combine v1 v2) :: go xs' ys'
+  in
+  go (sorted a) (sorted b)
+
+(* Gauges that are ratios of counters are recomputed from the merged
+   counters (a mean of means would depend on grouping); anything else is
+   a high-water mark and takes the max. *)
+let merge_snapshot (a : snapshot) (b : snapshot) =
+  let counters = merge_assoc ( + ) a.counters b.counters in
+  let c name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  let gauges =
+    merge_assoc Float.max a.gauges b.gauges
+    |> List.map (fun (k, v) ->
+           match k with
+           | "propagations_per_conflict" ->
+               (k, ratio (c "propagations") (c "conflicts"))
+           | "decisions_per_leaf" ->
+               (k, ratio (c "decisions") (c "conflicts" + c "solutions"))
+           | _ -> (k, v))
+  in
+  let histograms = merge_assoc merge_hist_snapshot a.histograms b.histograms in
+  let rec add_levels xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | x :: xs', y :: ys' -> (x + y) :: add_levels xs' ys'
+  in
+  {
+    counters;
+    gauges;
+    histograms;
+    per_level_decisions = add_levels a.per_level_decisions b.per_level_decisions;
+  }
+
+(* Approximate percentile ([q] in 0..1) from the log2 buckets: the
+   inclusive upper bound of the bucket holding the q-th observation.
+   Bucket [lo] covers [lo .. 2*lo - 1] (and bucket 0 is exactly 0). *)
+let hist_percentile (h : hist_snapshot) q =
+  if h.count = 0 then 0
+  else
+    let target =
+      let t = int_of_float (Float.round (q *. float_of_int h.count)) in
+      max 1 (min h.count t)
+    in
+    let rec go cum = function
+      | [] -> h.max_value
+      | (lo, n) :: rest ->
+          if cum + n >= target then
+            if lo = 0 then 0 else min h.max_value ((2 * lo) - 1)
+          else go (cum + n) rest
+    in
+    go 0 h.buckets
+
 (* ---------- JSON --------------------------------------------------------- *)
 
 let hist_to_json (h : hist_snapshot) =
@@ -225,3 +316,267 @@ let snapshot_to_json (s : snapshot) =
       ( "per_level_decisions",
         Json.List (List.map (fun n -> Json.Int n) s.per_level_decisions) );
     ]
+
+(* Readers for what [snapshot_to_json]/[hist_to_json] write — the
+   supervisor parses worker-shipped snapshots back before merging. *)
+
+let hist_of_json j =
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let flo k = Option.bind (Json.member k j) Json.to_float_opt in
+  let buckets =
+    match Json.member "buckets" j with
+    | Some (Json.List bs) ->
+        List.fold_left
+          (fun acc b ->
+            match (acc, b) with
+            | Some acc, Json.List [ Json.Int lo; Json.Int n ] ->
+                Some ((lo, n) :: acc)
+            | _ -> None)
+          (Some []) bs
+        |> Option.map List.rev
+    | _ -> None
+  in
+  match (int "count", int "sum", int "max", flo "mean", buckets) with
+  | Some count, Some sum, Some max_value, Some mean, Some buckets ->
+      Ok { count; sum; max_value; mean; buckets }
+  | _ -> Error "histogram snapshot missing count/sum/max/mean/buckets"
+
+let snapshot_of_json j =
+  let obj_fields k conv =
+    match Json.member k j with
+    | Some (Json.Obj kvs) ->
+        List.fold_left
+          (fun acc (name, v) ->
+            match (acc, conv v) with
+            | Ok acc, Ok x -> Ok ((name, x) :: acc)
+            | (Error _ as e), _ -> e
+            | Ok _, Error m ->
+                Error (Printf.sprintf "field %S of %S: %s" name k m)
+          )
+          (Ok []) kvs
+        |> Result.map List.rev
+    | _ -> Error (Printf.sprintf "snapshot has no %S object" k)
+  in
+  let int_field = function
+    | Json.Int i -> Ok i
+    | _ -> Error "expected an integer"
+  in
+  let float_field v =
+    match Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error "expected a number"
+  in
+  let per_level =
+    match Json.member "per_level_decisions" j with
+    | Some (Json.List xs) ->
+        List.fold_left
+          (fun acc x ->
+            match (acc, x) with
+            | Ok acc, Json.Int n -> Ok (n :: acc)
+            | _ -> Error "per_level_decisions must be a list of integers")
+          (Ok []) xs
+        |> Result.map List.rev
+    | _ -> Error "snapshot has no per_level_decisions list"
+  in
+  match
+    ( obj_fields "counters" int_field,
+      obj_fields "gauges" float_field,
+      obj_fields "histograms" hist_of_json,
+      per_level )
+  with
+  | Ok counters, Ok gauges, Ok histograms, Ok per_level_decisions ->
+      Ok { counters; gauges; histograms; per_level_decisions }
+  | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _ | _, _, _, Error m
+    ->
+      Error m
+
+(* ---------- Prometheus text exposition ----------------------------------- *)
+
+(* Encoders for the Prometheus text format (one metric family per
+   block: a # TYPE line then samples), plus a line-grammar validator so
+   tests and qtop --check can verify any produced exposition without a
+   real Prometheus around.  Histograms render the log2 buckets as the
+   cumulative le-labelled series Prometheus expects: bucket [lo] covers
+   [lo .. 2*lo - 1], so its upper bound is [2*lo - 1] (0 for the zero
+   bucket). *)
+
+let prom_escape_label v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape_label v))
+             kvs)
+      ^ "}"
+
+let prom_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else Printf.sprintf "%.6g" f
+
+let prom_sample buf ~name ?(labels = []) v =
+  Buffer.add_string buf name;
+  Buffer.add_string buf (prom_labels labels);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (prom_value v);
+  Buffer.add_char buf '\n'
+
+let prom_family buf ~name ~typ samples =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+  List.iter (fun (labels, v) -> prom_sample buf ~name ~labels v) samples
+
+let prom_hist buf ~name ?(labels = []) (h : hist_snapshot) =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  List.iter
+    (fun (lo, n) ->
+      cum := !cum + n;
+      let le = if lo = 0 then 0 else (2 * lo) - 1 in
+      prom_sample buf ~name:(name ^ "_bucket")
+        ~labels:(labels @ [ ("le", string_of_int le) ])
+        (float_of_int !cum))
+    h.buckets;
+  prom_sample buf ~name:(name ^ "_bucket")
+    ~labels:(labels @ [ ("le", "+Inf") ])
+    (float_of_int h.count);
+  prom_sample buf ~name:(name ^ "_sum") ~labels (float_of_int h.sum);
+  prom_sample buf ~name:(name ^ "_count") ~labels (float_of_int h.count)
+
+(* Render an engine-metrics snapshot as Prometheus text.  Counter names
+   get the conventional _total suffix; per-level decision counts become
+   one labelled family. *)
+let snapshot_to_prometheus ?(prefix = "qube_engine_") ?(labels = []) s =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) ->
+      prom_family buf ~name:(prefix ^ k ^ "_total") ~typ:"counter"
+        [ (labels, float_of_int v) ])
+    s.counters;
+  List.iter
+    (fun (k, v) -> prom_family buf ~name:(prefix ^ k) ~typ:"gauge" [ (labels, v) ])
+    s.gauges;
+  List.iter
+    (fun (k, h) -> prom_hist buf ~name:(prefix ^ k) ~labels h)
+    s.histograms;
+  (match s.per_level_decisions with
+  | [] -> ()
+  | levels ->
+      prom_family buf
+        ~name:(prefix ^ "decisions_by_prefix_level_total")
+        ~typ:"counter"
+        (List.mapi
+           (fun i n -> (labels @ [ ("plevel", string_of_int i) ], float_of_int n))
+           levels));
+  Buffer.contents buf
+
+(* ---------- Prometheus line grammar -------------------------------------- *)
+
+(* Validates one line of text exposition:
+     line      := comment | sample | blank
+     comment   := '#' ...                  (TYPE comments checked strictly)
+     sample    := name labels? ' ' value (' ' timestamp)?
+     name      := [a-zA-Z_:][a-zA-Z0-9_:]*
+     labels    := '{' name '="' escaped '"' (',' ...)* '}'
+     value     := float | '+Inf' | '-Inf' | 'NaN'
+   Returns [Error] with a position-bearing message on the first
+   violation; used by the telemetry tests and qtop --check. *)
+let prom_check_line line =
+  let n = String.length line in
+  let name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let name_char c = name_start c || (c >= '0' && c <= '9') in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if n = 0 then Ok ()
+  else if line.[0] = '#' then
+    if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+      match String.split_on_char ' ' line with
+      | [ "#"; "TYPE"; name; typ ]
+        when name <> ""
+             && name_start name.[0]
+             && String.for_all name_char name
+             && List.mem typ [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+        -> Ok ()
+      | _ -> fail "malformed # TYPE line"
+    else Ok () (* free-form comment / HELP *)
+  else begin
+    let i = ref 0 in
+    if not (name_start line.[0]) then fail "metric name must start [a-zA-Z_:]"
+    else begin
+      while !i < n && name_char line.[!i] do incr i done;
+      let labels_ok =
+        if !i < n && line.[!i] = '{' then begin
+          incr i;
+          let ok = ref true and closed = ref false in
+          while !ok && not !closed && !i < n do
+            (* label name *)
+            let s = !i in
+            while !i < n && name_char line.[!i] do incr i done;
+            if !i = s || !i + 1 >= n || line.[!i] <> '=' || line.[!i + 1] <> '"'
+            then ok := false
+            else begin
+              i := !i + 2;
+              (* quoted value with escapes *)
+              let in_str = ref true in
+              while !in_str && !i < n do
+                if line.[!i] = '\\' then i := !i + 2
+                else if line.[!i] = '"' then begin
+                  in_str := false;
+                  incr i
+                end
+                else incr i
+              done;
+              if !in_str then ok := false
+              else if !i < n && line.[!i] = ',' then incr i
+              else if !i < n && line.[!i] = '}' then begin
+                closed := true;
+                incr i
+              end
+              else ok := false
+            end
+          done;
+          !ok && !closed
+        end
+        else true
+      in
+      if not labels_ok then fail "malformed label set"
+      else if !i >= n || line.[!i] <> ' ' then
+        fail "expected space before value at column %d" !i
+      else begin
+        let rest = String.sub line (!i + 1) (n - !i - 1) in
+        let parts = String.split_on_char ' ' rest in
+        let value_ok v =
+          v = "+Inf" || v = "-Inf" || v = "NaN" || float_of_string_opt v <> None
+        in
+        match parts with
+        | [ v ] when value_ok v -> Ok ()
+        | [ v; ts ] when value_ok v && int_of_string_opt ts <> None -> Ok ()
+        | _ -> fail "malformed value %S" rest
+      end
+    end
+  end
+
+(* Whole-exposition check: every line must pass the grammar. *)
+let prom_check_text text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | l :: rest -> (
+        match prom_check_line l with
+        | Ok () -> go (lineno + 1) rest
+        | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+  in
+  go 1 lines

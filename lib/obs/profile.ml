@@ -158,3 +158,43 @@ let snapshot_to_json (s : snapshot) =
              ("cpu_s", Json.Float sp.cpu_s);
            ])
        s)
+
+(* Reader for what [snapshot_to_json] writes — the supervisor parses
+   worker-shipped profiles back before merging. *)
+let snapshot_of_json = function
+  | Json.List spans ->
+      List.fold_left
+        (fun acc sp ->
+          match acc with
+          | Error _ as e -> e
+          | Ok acc -> (
+              let str k = Option.bind (Json.member k sp) Json.to_string_opt in
+              let int k = Option.bind (Json.member k sp) Json.to_int_opt in
+              let flo k = Option.bind (Json.member k sp) Json.to_float_opt in
+              match (str "phase", int "calls", flo "wall_s", flo "cpu_s") with
+              | Some phase, Some calls, Some wall_s, Some cpu_s ->
+                  Ok ({ phase; calls; wall_s; cpu_s } :: acc)
+              | _ -> Error "profile span missing phase/calls/wall_s/cpu_s"))
+        (Ok []) spans
+      |> Result.map List.rev
+  | _ -> Error "profile snapshot must be a list of spans"
+
+(* Merge two profile snapshots by phase, preserving the canonical phase
+   order so merging is associative and commutative. *)
+let merge_snapshot (a : snapshot) (b : snapshot) =
+  List.filter_map
+    (fun ph ->
+      let name = phase_to_string ph in
+      let find s = List.find_opt (fun sp -> sp.phase = name) s in
+      match (find a, find b) with
+      | None, None -> None
+      | Some sp, None | None, Some sp -> Some sp
+      | Some x, Some y ->
+          Some
+            {
+              phase = name;
+              calls = x.calls + y.calls;
+              wall_s = x.wall_s +. y.wall_s;
+              cpu_s = x.cpu_s +. y.cpu_s;
+            })
+    all_phases

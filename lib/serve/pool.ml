@@ -32,7 +32,7 @@ let fork_available = not Sys.win32
 
 (* Flush anything buffered before forking: the child shares the file
    table and a duplicated stdio buffer would print twice. *)
-let spawn ~fault_p ~seed =
+let spawn ?(stats = true) ~fault_p ~seed () =
   if not fork_available then Error "fork unavailable on this platform"
   else begin
     flush stdout;
@@ -55,7 +55,7 @@ let spawn ~fault_p ~seed =
                 (* child: keep only its two pipe ends *)
                 Unix.close job_w;
                 Unix.close res_r;
-                Worker.main ~input:job_r ~output:res_w ~fault_p ~seed ()
+                Worker.main ~input:job_r ~output:res_w ~stats ~fault_p ~seed ()
             | pid ->
                 Unix.close job_r;
                 Unix.close res_w;

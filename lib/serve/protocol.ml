@@ -201,10 +201,52 @@ let json_of_answer a =
       ("error", opt_string a.a_error);
     ]
 
-let json_of_heartbeat ~id ~attempt =
+(* Heartbeats carry a progress delta: nodes searched since the last
+   beat, so the supervisor can tell slow progress from a true wedge.
+   [nodes] is optional on decode for compatibility with old workers. *)
+let json_of_heartbeat ~id ~attempt ~nodes =
   Json.Obj
     [ ("type", Json.String "hb"); ("id", Json.Int id);
-      ("attempt", Json.Int attempt) ]
+      ("attempt", Json.Int attempt); ("nodes", Json.Int nodes) ]
+
+(* ---------- Stats frames --------------------------------------------- *)
+
+(* A worker's observability snapshot in flight: engine metrics and the
+   phase profile for one (job, attempt), shipped piggy-backed before the
+   result frame and periodically on the heartbeat path so even a worker
+   later killed leaves its last snapshot.  Schema-versioned: a version
+   mismatch is a decode error (the supervisor drops the frame rather
+   than misread it). *)
+
+let stats_schema = "qubed-worker-stats"
+let stats_version = 1
+
+type stats = {
+  st_id : int;
+  st_attempt : int;
+  st_final : bool; (* true on the pre-result snapshot, false on periodic *)
+  st_metrics : Qbf_obs.Metrics.snapshot option;
+  st_profile : Qbf_obs.Profile.snapshot option;
+}
+
+let json_of_stats st =
+  Json.Obj
+    [
+      ("type", Json.String "stats");
+      ("schema", Json.String stats_schema);
+      ("v", Json.Int stats_version);
+      ("id", Json.Int st.st_id);
+      ("attempt", Json.Int st.st_attempt);
+      ("final", Json.Bool st.st_final);
+      ( "metrics",
+        match st.st_metrics with
+        | None -> Json.Null
+        | Some m -> Qbf_obs.Metrics.snapshot_to_json m );
+      ( "profile",
+        match st.st_profile with
+        | None -> Json.Null
+        | Some p -> Qbf_obs.Profile.snapshot_to_json p );
+    ]
 
 let member_int k j = Option.bind (Json.member k j) Json.to_int_opt
 let member_float k j = Option.bind (Json.member k j) Json.to_float_opt
@@ -248,14 +290,55 @@ let dispatch_of_json j =
 
 type worker_msg =
   | Msg_answer of answer
-  | Msg_heartbeat of { hb_id : int; hb_attempt : int }
+  | Msg_heartbeat of { hb_id : int; hb_attempt : int; hb_nodes : int }
+  | Msg_stats of stats
+
+let stats_of_json j =
+  match (member_string "schema" j, member_int "v" j) with
+  | Some s, _ when s <> stats_schema ->
+      Error (Printf.sprintf "stats frame schema %S, expected %S" s stats_schema)
+  | _, Some v when v <> stats_version ->
+      Error (Printf.sprintf "stats frame version %d, expected %d" v stats_version)
+  | Some _, Some _ -> (
+      match (member_int "id" j, member_int "attempt" j) with
+      | Some st_id, Some st_attempt -> (
+          let final =
+            match Json.member "final" j with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          let metrics =
+            match Json.member "metrics" j with
+            | None | Some Json.Null -> Ok None
+            | Some m ->
+                Result.map Option.some (Qbf_obs.Metrics.snapshot_of_json m)
+          in
+          let profile =
+            match Json.member "profile" j with
+            | None | Some Json.Null -> Ok None
+            | Some p ->
+                Result.map Option.some (Qbf_obs.Profile.snapshot_of_json p)
+          in
+          match (metrics, profile) with
+          | Ok st_metrics, Ok st_profile ->
+              Ok { st_id; st_attempt; st_final = final; st_metrics; st_profile }
+          | Error m, _ | _, Error m ->
+              Error (Printf.sprintf "stats frame: %s" m))
+      | _ -> Error "stats frame missing id/attempt")
+  | _ -> Error "stats frame missing schema/version"
 
 let worker_msg_of_json j =
   match member_string "type" j with
   | Some "hb" -> (
       match (member_int "id" j, member_int "attempt" j) with
-      | Some hb_id, Some hb_attempt -> Ok (Msg_heartbeat { hb_id; hb_attempt })
+      | Some hb_id, Some hb_attempt ->
+          (* nodes absent on frames from pre-telemetry workers *)
+          let hb_nodes =
+            match member_int "nodes" j with Some n -> n | None -> 0
+          in
+          Ok (Msg_heartbeat { hb_id; hb_attempt; hb_nodes })
       | _ -> Error "heartbeat frame missing id/attempt")
+  | Some "stats" -> Result.map (fun st -> Msg_stats st) (stats_of_json j)
   | Some "result" -> (
       match
         ( member_int "id" j,

@@ -53,6 +53,7 @@ type policy = {
   escalate : float; (* budget multiplier after a budget-shaped failure *)
   fault_p : float; (* per-dispatch injected-fault probability *)
   cache : bool;
+  stats : bool; (* workers collect + ship metrics/profile snapshots *)
   seed : int; (* worker RNG + backoff jitter seed *)
 }
 
@@ -73,11 +74,23 @@ let default_policy =
     escalate = 2.0;
     fault_p = 0.0;
     cache = true;
+    stats = true;
     seed = 0;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Per-job reports                                                     *)
+
+(* Per-attempt engine statistics, recovered from worker stats frames
+   (or collected directly on the inline path).  Each attempt keeps its
+   latest snapshot, so even a killed attempt's partial work survives
+   into the job's report. *)
+type attempt_stats = {
+  as_attempt : int;
+  as_pid : int; (* 0 on the inline path *)
+  as_metrics : Qbf_obs.Metrics.snapshot option;
+  as_profile : Qbf_obs.Profile.snapshot option;
+}
 
 type report = {
   r_id : int;
@@ -94,7 +107,23 @@ type report = {
   r_cached : bool;
   r_decisions : int;
   r_nodes : int;
+  r_attempt_stats : attempt_stats list; (* ascending by attempt *)
 }
+
+let json_of_attempt_stats a =
+  Json.Obj
+    [
+      ("attempt", Json.Int a.as_attempt);
+      ("pid", Json.Int a.as_pid);
+      ( "metrics",
+        match a.as_metrics with
+        | None -> Json.Null
+        | Some m -> Qbf_obs.Metrics.snapshot_to_json m );
+      ( "profile",
+        match a.as_profile with
+        | None -> Json.Null
+        | Some p -> Qbf_obs.Profile.snapshot_to_json p );
+    ]
 
 let json_of_report r =
   Json.Obj
@@ -121,6 +150,8 @@ let json_of_report r =
       ("cached", Json.Bool r.r_cached);
       ("decisions", Json.Int r.r_decisions);
       ("nodes", Json.Int r.r_nodes);
+      ( "attempt_stats",
+        Json.List (List.map json_of_attempt_stats r.r_attempt_stats) );
     ]
 
 type summary = {
@@ -167,8 +198,16 @@ type jrec = {
   mutable last_failure : Failure.t option;
   mutable failures : (string * int) list;
   mutable first_dispatch : float option;
+  mutable ready_since : float; (* when the job last became dispatchable *)
+  mutable stats : attempt_stats list; (* latest snapshot per attempt *)
   mutable result : report option;
 }
+
+(* Replace-or-add the latest snapshot for an attempt (stats frames are
+   cumulative: only the newest per attempt counts). *)
+let record_stats j (a : attempt_stats) =
+  j.stats <-
+    a :: List.filter (fun x -> x.as_attempt <> a.as_attempt) j.stats
 
 let record_failure j cls =
   j.last_failure <- Some cls;
@@ -203,7 +242,12 @@ type t = {
   mutable fork_broken : bool; (* spawn failed; stop trying *)
   interrupt : Limits.Interrupt.t option; (* batch-level Ctrl-C / SIGTERM *)
   on_report : report -> unit;
+  telemetry : Telemetry.t option; (* service-level aggregator, if attached *)
 }
+
+(* Feed the telemetry aggregator, when one is attached.  Every hook is
+   a plain function on Telemetry.t so this stays one branch when off. *)
+let tel t f = match t.telemetry with Some tel -> f tel | None -> ()
 
 let interrupted t =
   match t.interrupt with
@@ -224,11 +268,13 @@ let spawn_worker t =
   else begin
     t.spawn_seq <- t.spawn_seq + 1;
     match
-      Pool.spawn ~fault_p:t.policy.fault_p
+      Pool.spawn ~stats:t.policy.stats ~fault_p:t.policy.fault_p
         ~seed:(t.policy.seed + (7919 * t.spawn_seq))
+        ()
     with
     | Ok w ->
         Counters.incr t.counters "spawns";
+        tel t (fun a -> Telemetry.on_spawn a ~pid:w.Pool.pid);
         trace t Trace.Serve_spawn ~dlevel:w.Pool.pid ~plevel:0 ~arg:0;
         t.pool <- t.pool @ [ w ];
         Some w
@@ -268,6 +314,10 @@ let finish t j report =
           (if report.r_error <> None then "jobs_errored" else "jobs_unknown"));
     trace t Trace.Serve_result ~dlevel:0 ~plevel:j.attempts
       ~arg:j.job.Protocol.id;
+    tel t (fun a ->
+        Telemetry.on_job_done a
+          ~ok:(report.r_error = None)
+          ~latency_s:report.r_wall);
     t.on_report report
   end
 
@@ -290,6 +340,8 @@ let base_report j =
     r_cached = false;
     r_decisions = 0;
     r_nodes = 0;
+    r_attempt_stats =
+      List.sort (fun a b -> compare a.as_attempt b.as_attempt) j.stats;
   }
 
 (* Cancel every worker still racing an attempt of [j] (it lost). *)
@@ -322,6 +374,7 @@ let rec settle t j (report : report) =
           (fun j' ->
             if j'.state <> Done && j'.hash = Some h then begin
               Counters.incr t.counters "cache_hits";
+              tel t Telemetry.on_cache_hit;
               settle t j'
                 {
                   (base_report j') with
@@ -358,6 +411,7 @@ let attempt_failed t j cls =
   if j.state <> Done then begin
     record_failure j cls;
     Counters.incr t.counters ("failures_" ^ Failure.to_string cls);
+    tel t (fun a -> Telemetry.on_failure a cls);
     if Failure.escalates_budget cls then j.round_escalates <- true;
     match cls with
     | Failure.Input _ ->
@@ -369,6 +423,7 @@ let attempt_failed t j cls =
           else begin
             j.round <- j.round + 1;
             Counters.incr t.counters "retries";
+            tel t Telemetry.on_retry;
             if j.round_escalates then begin
               j.budget_mult <- j.budget_mult *. t.policy.escalate;
               Counters.incr t.counters "budget_escalations"
@@ -426,9 +481,12 @@ let try_cache t j =
     | None -> false
     | Some h -> (
         match Cache.find t.cache h with
-        | None -> false
+        | None ->
+            tel t Telemetry.on_cache_miss;
+            false
         | Some e ->
             Counters.incr t.counters "cache_hits";
+            tel t Telemetry.on_cache_hit;
             finish t j
               {
                 (base_report j) with
@@ -488,6 +546,10 @@ let dispatch_to t w j label =
       j.outstanding <- j.outstanding + 1;
       w.Pool.state <- Pool.Busy (d, ts);
       Counters.incr t.counters "dispatches";
+      tel t (fun a ->
+          Telemetry.on_dispatch a ~id:j.job.Protocol.id
+            ~attempt:d.Protocol.d_attempt ~pid:w.Pool.pid
+            ~queued_s:(ts -. j.ready_since));
       trace t Trace.Serve_dispatch ~dlevel:w.Pool.pid ~plevel:d.Protocol.d_attempt
         ~arg:j.job.Protocol.id;
       true
@@ -504,7 +566,9 @@ let schedule t =
   Array.iter
     (fun j ->
       match j.state with
-      | Backoff until when ts >= until -> j.state <- Ready
+      | Backoff until when ts >= until ->
+          j.state <- Ready;
+          j.ready_since <- ts
       | _ -> ())
     t.jobs;
   let idle () =
@@ -611,13 +675,51 @@ let drain_worker t w =
         | Protocol.Frame json -> (
             match Protocol.worker_msg_of_json json with
             | Error msg -> handle_garbage t w msg
-            | Ok (Protocol.Msg_heartbeat { hb_id; hb_attempt }) ->
+            | Ok (Protocol.Msg_heartbeat { hb_id; hb_attempt; hb_nodes }) ->
                 (match w.Pool.state with
                 | Pool.Busy (d, _)
                   when d.Protocol.d_job.Protocol.id = hb_id
                        && d.Protocol.d_attempt = hb_attempt ->
-                    w.Pool.state <- Pool.Busy (d, now ())
+                    w.Pool.state <- Pool.Busy (d, now ());
+                    tel t (fun a -> Telemetry.on_heartbeat a ~nodes:hb_nodes)
                 | _ -> ());
+                pull ()
+            | Ok (Protocol.Msg_stats st) ->
+                (* Accept snapshots from the current assignment AND from
+                   a cancelled one: a race loser's last snapshot is
+                   precisely the data a killed worker leaves behind. *)
+                let matches (d : Protocol.dispatch) =
+                  d.Protocol.d_job.Protocol.id = st.Protocol.st_id
+                  && d.Protocol.d_attempt = st.Protocol.st_attempt
+                in
+                let current =
+                  match w.Pool.state with
+                  | Pool.Busy (d, _) -> matches d
+                  | _ -> false
+                in
+                let cancelled =
+                  match w.Pool.cancelled with
+                  | Some d -> matches d
+                  | None -> false
+                in
+                if current || cancelled then begin
+                  tel t (fun a -> Telemetry.on_stats a ~pid:w.Pool.pid st);
+                  match
+                    Array.find_opt
+                      (fun j -> j.job.Protocol.id = st.Protocol.st_id)
+                      t.jobs
+                  with
+                  | Some j ->
+                      record_stats j
+                        {
+                          as_attempt = st.Protocol.st_attempt;
+                          as_pid = w.Pool.pid;
+                          as_metrics = st.Protocol.st_metrics;
+                          as_profile = st.Protocol.st_profile;
+                        }
+                  | None -> ()
+                end
+                else Counters.incr t.counters "stale_stats";
                 pull ()
             | Ok (Protocol.Msg_answer a) ->
                 handle_answer t w a;
@@ -632,6 +734,8 @@ let drain_worker t w =
    from the exit status (a 0 exit with no answer is a truncated
    stream).  Cancelled workers owe nothing. *)
 let worker_died t w status =
+  tel t (fun a ->
+      Telemetry.on_reap a ~pid:w.Pool.pid (Failure.of_process_status status));
   (match w.Pool.state with
   | Pool.Busy (d, _) -> (
       let cls =
@@ -704,6 +808,7 @@ let reap_and_respawn t ~respawn =
 let solve_inline t j =
   if j.state <> Done && not (try_cache t j) then begin
     Counters.incr t.counters "inline_solves";
+    tel t Telemetry.on_inline_solve;
     let ts = now () in
     j.first_dispatch <- Some ts;
     j.attempts <- j.attempts + 1;
@@ -712,6 +817,16 @@ let solve_inline t j =
       | Some c -> c
       | None -> ST.default_config
     in
+    (* same per-attempt collector a worker would have; pid 0 marks the
+       inline path in attempt stats and correlations *)
+    let inline_obs =
+      if t.policy.stats then
+        Some
+          (Qbf_obs.Obs.make ~metrics:(Qbf_obs.Metrics.create ())
+             ~profile:(Qbf_obs.Profile.create ()) ())
+      else None
+    in
+    let config = { config with ST.obs = inline_obs } in
     let p = t.policy in
     let job = j.job in
     let limits =
@@ -740,8 +855,28 @@ let solve_inline t j =
         | Some reason ->
             record_failure j (Failure.of_stop_reason reason);
             Counters.incr t.counters
-              ("failures_" ^ Failure.to_string (Failure.of_stop_reason reason))
+              ("failures_" ^ Failure.to_string (Failure.of_stop_reason reason));
+            tel t (fun a ->
+                Telemetry.on_failure a (Failure.of_stop_reason reason))
         | None -> ());
+        if inline_obs <> None then begin
+          record_stats j
+            {
+              as_attempt = j.attempts;
+              as_pid = 0;
+              as_metrics = r.Run.metrics;
+              as_profile = r.Run.profile;
+            };
+          tel t (fun a ->
+              Telemetry.on_stats a ~pid:0
+                {
+                  Protocol.st_id = j.job.Protocol.id;
+                  st_attempt = j.attempts;
+                  st_final = true;
+                  st_metrics = r.Run.metrics;
+                  st_profile = r.Run.profile;
+                })
+        end;
         settle t j
           {
             (base_report j) with
@@ -775,7 +910,10 @@ let shutdown t =
       List.filter
         (fun w ->
           match Pool.try_reap w with
-          | Some _ ->
+          | Some status ->
+              tel t (fun a ->
+                  Telemetry.on_reap a ~pid:w.Pool.pid
+                    (Failure.of_process_status status));
               Pool.close_fds w;
               false
           | None -> true)
@@ -785,7 +923,10 @@ let shutdown t =
         List.iter
           (fun w ->
             Pool.kill_now w;
-            ignore (Pool.reap w : Unix.process_status);
+            let status = Pool.reap w in
+            tel t (fun a ->
+                Telemetry.on_reap a ~pid:w.Pool.pid
+                  (Failure.of_process_status status));
             Pool.close_fds w)
           t.pool;
         t.pool <- []
@@ -856,15 +997,19 @@ let run_pooled t =
             t.pool
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       check_hangs t;
-      reap_and_respawn t ~respawn:(not (all_done t))
+      reap_and_respawn t ~respawn:(not (all_done t));
+      tel t (fun a -> Telemetry.tick a)
     end
   done;
   abandon_unfinished t;
   shutdown t
 
 let run ?(policy = default_policy) ?(obs = Qbf_obs.Obs.none) ?interrupt
-    ?on_report jobs =
+    ?telemetry ?on_report jobs =
   let t0 = now () in
+  (match telemetry with
+  | Some a -> Telemetry.init_families a
+  | None -> ());
   (* A worker can die between select and our write to it; the EPIPE is
      handled, the signal must not kill us. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -898,6 +1043,8 @@ let run ?(policy = default_policy) ?(obs = Qbf_obs.Obs.none) ?interrupt
                  last_failure = None;
                  failures = [];
                  first_dispatch = None;
+                 ready_since = t0;
+                 stats = [];
                  result = None;
                })
              jobs);
@@ -907,9 +1054,14 @@ let run ?(policy = default_policy) ?(obs = Qbf_obs.Obs.none) ?interrupt
       interrupt;
       on_report =
         (match on_report with Some f -> f | None -> fun _ -> ());
+      telemetry;
     }
   in
-  Array.iter (fun j -> ingest t j) t.jobs;
+  Array.iter
+    (fun j ->
+      tel t Telemetry.on_job_submitted;
+      ingest t j)
+    t.jobs;
   if t.fork_broken then begin
     Array.iter (fun j -> if not (interrupted t) then solve_inline t j) t.jobs;
     abandon_unfinished t

@@ -101,6 +101,11 @@ let perform_fault out = function
 
 let heartbeat_interval_s = 0.25
 
+(* Periodic stats frames are much rarer than heartbeats: a snapshot
+   walks the whole metrics registry, so once a second is plenty for a
+   "last known state" of a worker that later gets killed. *)
+let stats_interval_s = 1.0
+
 let answer_of_report ~id ~attempt (r : Run.report) =
   {
     Protocol.a_id = id;
@@ -113,7 +118,7 @@ let answer_of_report ~id ~attempt (r : Run.report) =
     a_error = None;
   }
 
-let solve_dispatch ~out (d : Protocol.dispatch) =
+let solve_dispatch ~out ~stats (d : Protocol.dispatch) =
   let job = d.Protocol.d_job in
   let id = job.Protocol.id and attempt = d.Protocol.d_attempt in
   let config =
@@ -121,45 +126,97 @@ let solve_dispatch ~out (d : Protocol.dispatch) =
     | Some c -> c
     | None -> ST.default_config
   in
+  (* With telemetry on, the attempt gets a fresh collector: metrics for
+     the engine registry, profile for the phase spans.  Snapshots of it
+     ride the heartbeat path periodically and a final one precedes the
+     answer frame, so the supervisor has per-attempt engine statistics
+     even for a worker it later kills. *)
+  let obs =
+    if stats then
+      Some
+        (Qbf_obs.Obs.make ~metrics:(Qbf_obs.Metrics.create ())
+           ~profile:(Qbf_obs.Profile.create ()) ())
+    else None
+  in
+  let live_nodes () =
+    match obs with
+    | Some o -> Qbf_obs.Metrics.leaves o.Qbf_obs.Obs.metrics
+    | None -> 0
+  in
+  let send_stats ~final =
+    match obs with
+    | None -> ()
+    | Some o ->
+        let metrics = Some (Qbf_obs.Metrics.snapshot o.Qbf_obs.Obs.metrics) in
+        let profile = Some (Qbf_obs.Profile.snapshot o.Qbf_obs.Obs.profile) in
+        Protocol.write_frame out
+          (Protocol.json_of_stats
+             {
+               Protocol.st_id = id;
+               st_attempt = attempt;
+               st_final = final;
+               st_metrics = metrics;
+               st_profile = profile;
+             })
+  in
   (* Heartbeats ride the engine's budget poll: every [stop_interval]
      budget checks the engine calls [should_stop], and we piggyback a
-     cheap clock read; a beat goes out every [heartbeat_interval_s].
-     A worker that stops beating is wedged, not slow.  The first beat
-     is sent before the solve so even a long parse is covered. *)
-  Protocol.write_frame out (Protocol.json_of_heartbeat ~id ~attempt);
+     cheap clock read; a beat goes out every [heartbeat_interval_s]
+     carrying the nodes searched since the previous beat (progress
+     rate, so the supervisor can tell slow from wedged).  The first
+     beat is sent before the solve so even a long parse is covered. *)
+  Protocol.write_frame out (Protocol.json_of_heartbeat ~id ~attempt ~nodes:0);
   let last_beat = ref (Unix.gettimeofday ()) in
+  let last_stats = ref !last_beat in
+  let beat_nodes = ref 0 in
   let beat () =
     let now = Unix.gettimeofday () in
     if now -. !last_beat >= heartbeat_interval_s then begin
       last_beat := now;
-      Protocol.write_frame out (Protocol.json_of_heartbeat ~id ~attempt)
+      let total = live_nodes () in
+      let delta = total - !beat_nodes in
+      beat_nodes := total;
+      Protocol.write_frame out
+        (Protocol.json_of_heartbeat ~id ~attempt ~nodes:delta);
+      if obs <> None && now -. !last_stats >= stats_interval_s then begin
+        last_stats := now;
+        send_stats ~final:false
+      end
     end;
     false
   in
-  let config = { config with ST.should_stop = Some beat } in
+  let config =
+    { config with ST.should_stop = Some beat; ST.obs }
+  in
   let limits =
     Limits.make
       ?timeout_s:job.Protocol.timeout_s
       ?mem_mb:job.Protocol.mem_mb
       ?max_nodes:job.Protocol.max_nodes ~poll_interval:64 ()
   in
-  match Run.solve_source ~limits ~config job.Protocol.source with
-  | Ok report -> answer_of_report ~id ~attempt report
-  | Error e ->
-      {
-        Protocol.a_id = id;
-        a_attempt = attempt;
-        a_outcome = ST.Unknown;
-        a_time = 0.;
-        a_stopped = None;
-        a_decisions = 0;
-        a_nodes = 0;
-        a_error = Some (Qbf_run.Run_error.to_string e);
-      }
+  let answer =
+    match Run.solve_source ~limits ~config job.Protocol.source with
+    | Ok report -> answer_of_report ~id ~attempt report
+    | Error e ->
+        {
+          Protocol.a_id = id;
+          a_attempt = attempt;
+          a_outcome = ST.Unknown;
+          a_time = 0.;
+          a_stopped = None;
+          a_decisions = 0;
+          a_nodes = 0;
+          a_error = Some (Qbf_run.Run_error.to_string e);
+        }
+  in
+  (* final snapshot first, so a supervisor processing the answer frame
+     already holds this attempt's complete statistics *)
+  send_stats ~final:true;
+  answer
 
 (* Entry point of the forked child.  Never returns: exits 0 on a clean
    pipe close, [crash_exit_code + 1] on an escaped exception. *)
-let main ~input ~output ~fault_p ~seed () =
+let main ~input ~output ?(stats = true) ~fault_p ~seed () =
   (* The child inherited the parent's handlers and buffers; reset what
      matters.  SIGTERM must terminate (it is the cancellation protocol);
      SIGPIPE must not kill us mid-diagnostic; SIGINT is the
@@ -184,7 +241,7 @@ let main ~input ~output ~fault_p ~seed () =
             (match draw_fault rng fault_p with
             | Some f -> perform_fault output f
             | None -> ());
-            let answer = solve_dispatch ~out:output d in
+            let answer = solve_dispatch ~out:output ~stats d in
             (match
                Protocol.write_frame output (Protocol.json_of_answer answer)
              with

@@ -14,4 +14,5 @@ let () =
       ("bench", Test_bench.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -67,7 +67,8 @@ let test_answer_roundtrip () =
       Alcotest.check Util.outcome "outcome" ST.False a'.Protocol.a_outcome;
       Alcotest.(check int) "decisions" 10 a'.Protocol.a_decisions;
       Alcotest.(check bool) "no error" true (a'.Protocol.a_error = None)
-  | Ok (Protocol.Msg_heartbeat _) -> Alcotest.fail "answer decoded as heartbeat"
+  | Ok (Protocol.Msg_heartbeat _ | Protocol.Msg_stats _) ->
+      Alcotest.fail "answer decoded as a different frame kind"
   | Error m -> Alcotest.failf "answer did not roundtrip: %s" m
 
 let test_frame_over_pipe () =

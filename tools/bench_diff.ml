@@ -1,0 +1,191 @@
+(* bench_diff: regression gate over two schema-versioned BENCH_*.json
+   artifacts (the files lib/bench writes and the repo commits).
+
+   Usage:
+     bench_diff.exe [--tolerance F] [--abs-floor S] BASELINE CURRENT
+
+   Rows are matched by their "label" (or "model") key; metrics are
+   compared per kind:
+
+   - counting metrics ("jobs") must be equal — a changed workload is a
+     broken comparison, not a regression;
+   - "decided" must not decrease: losing answers is a correctness
+     regression whatever the timing says;
+   - higher-is-better metrics (name contains "throughput" or ends in
+     "_per_sec") may not drop by more than the tolerance;
+   - lower-is-better metrics (name contains "wall" or "time") may not
+     grow by more than the tolerance, with an absolute floor so
+     microsecond-scale noise on trivial rows never gates;
+   - everything else ("retries", "failures", "cache_hits", ...) is
+     informational: printed when it moved, never failing.
+
+   The default tolerance is deliberately generous (50%): CI machines
+   are noisy and the gate exists to catch real regressions (2x walls,
+   halved throughput), not scheduler jitter.  Exit 0 when every gated
+   metric is within thresholds, 1 on a regression, 2 on unusable input
+   (missing file, schema mismatch, no common rows). *)
+
+module Json = Qbf_obs.Json
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("bench_diff: " ^ m);
+      exit 2)
+    fmt
+
+let read_json file =
+  match open_in file with
+  | exception Sys_error m -> die "%s" m
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in_noerr ic;
+      (match Json.of_string_res text with
+      | Ok j -> j
+      | Error m -> die "%s: %s" file m)
+
+let member k j = Json.member k j
+let member_string k j = Option.bind (member k j) Json.to_string_opt
+let member_int k j = Option.bind (member k j) Json.to_int_opt
+
+(* ------------------------------------------------------------------ *)
+(* Metric direction heuristics *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ends_with ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+type direction =
+  | Equal (* must match exactly *)
+  | No_decrease (* current >= baseline *)
+  | Higher_better (* may drop by at most tolerance *)
+  | Lower_better (* may grow by at most tolerance *)
+  | Info (* reported, never gated *)
+
+let direction name =
+  if name = "jobs" then Equal
+  else if name = "decided" then No_decrease
+  else if contains ~sub:"throughput" name || ends_with ~suffix:"_per_sec" name
+  then Higher_better
+  else if contains ~sub:"wall" name || contains ~sub:"time" name then
+    Lower_better
+  else Info
+
+(* ------------------------------------------------------------------ *)
+(* Row access *)
+
+let row_key j =
+  match (member_string "label" j, member_string "model" j) with
+  | Some l, _ -> Some l
+  | None, Some m -> Some m
+  | None, None -> None
+
+let rows file j =
+  (match (member_string "schema" j, member_int "v" j) with
+  | Some _, Some _ -> ()
+  | _ -> die "%s: missing schema/v (not a BENCH artifact?)" file);
+  match member "results" j with
+  | Some (Json.List rs) ->
+      List.filter_map (fun r -> Option.map (fun k -> (k, r)) (row_key r)) rs
+  | _ -> die "%s: no results list" file
+
+let numeric_fields j =
+  match j with
+  | Json.Obj kvs ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Int n -> Some (k, float_of_int n)
+          | Json.Float f -> Some (k, f)
+          | _ -> None)
+        kvs
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse tol floor files = function
+    | [] -> (tol, floor, List.rev files)
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0. -> parse f floor files rest
+        | _ -> die "--tolerance wants a non-negative fraction, got %S" v)
+    | "--abs-floor" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0. -> parse tol f files rest
+        | _ -> die "--abs-floor wants non-negative seconds, got %S" v)
+    | ("--tolerance" | "--abs-floor") :: [] -> die "missing option value"
+    | a :: rest -> parse tol floor (a :: files) rest
+  in
+  let tolerance, abs_floor, files = parse 0.5 0.25 [] args in
+  let baseline_file, current_file =
+    match files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        die "usage: bench_diff [--tolerance F] [--abs-floor S] BASELINE CURRENT"
+  in
+  let baseline = rows baseline_file (read_json baseline_file) in
+  let current = rows current_file (read_json current_file) in
+  let common =
+    List.filter_map
+      (fun (k, b) ->
+        Option.map (fun c -> (k, b, c)) (List.assoc_opt k current))
+      baseline
+  in
+  if common = [] then die "no common rows between %s and %s" baseline_file
+    current_file;
+  let regressions = ref 0 in
+  let gate row name verdict detail =
+    incr regressions;
+    Printf.printf "FAIL %-16s %-14s %s (%s)\n" row name detail verdict
+  in
+  List.iter
+    (fun (key, b, c) ->
+      let bf = numeric_fields b and cf = numeric_fields c in
+      List.iter
+        (fun (name, bv) ->
+          match List.assoc_opt name cf with
+          | None -> ()
+          | Some cv -> (
+              let rel =
+                if bv = 0. then if cv = 0. then 0. else infinity
+                else (cv -. bv) /. Float.abs bv
+              in
+              match direction name with
+              | Equal ->
+                  if bv <> cv then
+                    gate key name "must be equal"
+                      (Printf.sprintf "%.0f -> %.0f" bv cv)
+              | No_decrease ->
+                  if cv < bv then
+                    gate key name "must not decrease"
+                      (Printf.sprintf "%.0f -> %.0f" bv cv)
+              | Higher_better ->
+                  if rel < -.tolerance then
+                    gate key name
+                      (Printf.sprintf "dropped beyond %.0f%%" (100. *. tolerance))
+                      (Printf.sprintf "%.2f -> %.2f (%+.0f%%)" bv cv (100. *. rel))
+              | Lower_better ->
+                  (* the absolute floor: sub-floor times cannot gate,
+                     whatever the ratio — noise dominates down there *)
+                  if rel > tolerance && cv -. bv > abs_floor then
+                    gate key name
+                      (Printf.sprintf "grew beyond %.0f%%" (100. *. tolerance))
+                      (Printf.sprintf "%.2f -> %.2f (%+.0f%%)" bv cv (100. *. rel))
+              | Info ->
+                  if bv <> cv then
+                    Printf.printf "info %-16s %-14s %.2f -> %.2f\n" key name bv
+                      cv))
+        bf)
+    common;
+  Printf.printf "%d rows compared, %d regression%s\n" (List.length common)
+    !regressions
+    (if !regressions = 1 then "" else "s");
+  exit (if !regressions > 0 then 1 else 0)

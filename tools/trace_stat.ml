@@ -1,15 +1,23 @@
 (* Offline trace summarizer for qube's --trace JSONL output.
 
    Usage:
-     trace_stat.exe [--check] FILE...
+     trace_stat.exe [--check] [--telemetry FILE] FILE...
 
    Default mode prints, per file: event/kind counts, the per-prefix-level
    decision histogram, a backjump-length summary, and the wall-clock
    span of the trace.  [--check] only validates — every line must parse
    against the v1 schema and seq numbers must be strictly increasing —
-   and exits nonzero on the first violation, which is what CI runs. *)
+   and exits nonzero on the first violation, which is what CI runs.
+
+   [--telemetry FILE] adds a cross-file correlation check against a
+   qubed telemetry document: every serve-dispatch event in the given
+   traces (dlevel = worker pid, plevel = attempt, arg = job id) must
+   appear as a (id, attempt, pid) correlation in the telemetry stream —
+   the link that lets an aggregate number be traced back to the worker
+   JSONL that produced it. *)
 
 module Trace = Qbf_obs.Trace
+module Json = Qbf_obs.Json
 
 let read_events file =
   let ic = open_in file in
@@ -80,15 +88,79 @@ let summarize file events =
       mx
   end
 
+(* ------------------------------------------------------------------ *)
+(* Correlation-id consistency against a qubed telemetry stream *)
+
+let telemetry_correlations file =
+  match open_in file with
+  | exception Sys_error m -> Error m
+  | ic -> (
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in_noerr ic;
+      match Json.of_string_res text with
+      | Error m -> Error (Printf.sprintf "%s: %s" file m)
+      | Ok j -> (
+          match Json.member "correlations" j with
+          | Some (Json.List cs) ->
+              let int k o = Option.bind (Json.member k o) Json.to_int_opt in
+              Ok
+                (List.filter_map
+                   (fun c ->
+                     match (int "id" c, int "attempt" c, int "pid" c) with
+                     | Some id, Some at, Some pid -> Some (id, at, pid)
+                     | _ -> None)
+                   cs)
+          | _ ->
+              Error
+                (Printf.sprintf "%s: no correlations list (not a telemetry \
+                                 file?)" file)))
+
+(* Every dispatch the supervisor traced must be linkable in telemetry.
+   Only serve-dispatch events carry the full (pid, attempt, id) triple;
+   serve-result events are settlement records (cached and input-error
+   jobs settle with no pid), so they are not checked. *)
+let check_correlations tel_file traces_events =
+  match telemetry_correlations tel_file with
+  | Error m -> Error m
+  | Ok correlations ->
+      let missing = ref [] in
+      List.iter
+        (fun (file, events) ->
+          List.iter
+            (fun e ->
+              if e.Trace.kind = Trace.Serve_dispatch then
+                let key = (e.Trace.arg, e.Trace.plevel, e.Trace.dlevel) in
+                if not (List.mem key correlations) then
+                  missing :=
+                    Printf.sprintf
+                      "%s: dispatch (id %d, attempt %d, pid %d) absent from %s"
+                      file e.Trace.arg e.Trace.plevel e.Trace.dlevel tel_file
+                    :: !missing)
+            events)
+        traces_events;
+      (match !missing with
+      | [] -> Ok (List.length correlations)
+      | ms -> Error (String.concat "\n" (List.rev ms)))
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let check = List.mem "--check" args in
-  let files = List.filter (fun a -> a <> "--check") args in
+  let rec parse check telemetry files = function
+    | [] -> (check, telemetry, List.rev files)
+    | "--check" :: rest -> parse true telemetry files rest
+    | "--telemetry" :: f :: rest -> parse check (Some f) files rest
+    | "--telemetry" :: [] ->
+        prerr_endline "trace_stat: --telemetry wants a file";
+        exit 2
+    | a :: rest -> parse check telemetry (a :: files) rest
+  in
+  let check, telemetry, files = parse false None [] args in
   if files = [] then begin
-    prerr_endline "usage: trace_stat [--check] FILE...";
+    prerr_endline "usage: trace_stat [--check] [--telemetry FILE] FILE...";
     exit 2
   end;
   let failed = ref false in
+  let parsed = ref [] in
   List.iter
     (fun file ->
       match Result.bind (read_events file) (fun evs ->
@@ -98,8 +170,19 @@ let () =
           Printf.eprintf "%s\n" m;
           failed := true
       | Ok events ->
+          parsed := (file, events) :: !parsed;
           if check then
             Printf.printf "%s: OK (%d events)\n" file (List.length events)
           else summarize file events)
     files;
+  (match telemetry with
+  | None -> ()
+  | Some tel_file -> (
+      match check_correlations tel_file (List.rev !parsed) with
+      | Ok n ->
+          Printf.printf "correlations: OK (every dispatch linked; %d in %s)\n"
+            n tel_file
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          failed := true));
   exit (if !failed then 1 else 0)
