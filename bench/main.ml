@@ -377,10 +377,34 @@ let prop o =
         Printf.printf "WARNING: %s: watched and counters disagree!\n"
           r.Qbf_bench.Prop.model)
     results;
+  (* DB-reduction on/off on the large-DB instance: the lifecycle
+     evidence — reduction must keep the diameter and [deleted] shows
+     the keep-fraction schedule actually bounding the database. *)
+  section "Learned-DB reduction: on vs off (gray3)";
+  let db_results =
+    List.map
+      (fun name ->
+        let m = Qbf_models.Families.by_name name in
+        let r = Qbf_bench.Prop.run_db ~timeout_s m in
+        Printf.printf "%s: done (reduce-on %.2fs, reduce-off %.2fs)\n%!"
+          name r.Qbf_bench.Prop.reduce_on.Qbf_bench.Prop.db_time_s
+          r.Qbf_bench.Prop.reduce_off.Qbf_bench.Prop.db_time_s;
+        r)
+      (if o.full then [ "gray3"; "counter3" ] else [ "gray3" ])
+  in
+  print_endline
+    (Rep.render_table Qbf_bench.Prop.db_header
+       (List.map Qbf_bench.Prop.db_row_cells db_results));
+  List.iter
+    (fun (r : Qbf_bench.Prop.db_result) ->
+      if not (Qbf_bench.Prop.db_agree r) then
+        Printf.printf "WARNING: %s: reduction on and off disagree!\n"
+          r.Qbf_bench.Prop.db_model)
+    db_results;
   (match o.json_dir with
   | None -> ()
   | Some dir ->
-      let file = Qbf_bench.Prop.write_json ~dir results in
+      let file = Qbf_bench.Prop.write_json ~dir ~db:db_results results in
       Printf.printf "wrote %s (%d models)\n%!" file (List.length results))
 
 (* ---------- serving layer ------------------------------------------------ *)

@@ -59,26 +59,25 @@ let run model_name style propagation max_n timeout bfs verbose profile_on
     else None
   in
   let config =
-    {
-      ST.default_config with
-      ST.heuristic =
-        (if style = Qbf_models.Diameter.Nonprenex then ST.Partial_order
-         else ST.Total_order);
-      ST.propagation =
-        (match propagation with
-        | "watched" -> ST.Watched
-        | "counters" -> ST.Counters
-        | other ->
-            Printf.eprintf
-              "unknown propagation engine %S (use watched or counters)\n"
-              other;
-            exit 2);
-      ST.should_stop =
-        Some (fun () -> Qbf_run.Limits.Deadline.expired deadline);
-      ST.stop_flag = Some (Qbf_run.Limits.Interrupt.flag interrupt);
-      ST.stop_interval = 64;
-      ST.obs;
-    }
+    ST.(
+      default_config
+      |> with_heuristic
+           (if style = Qbf_models.Diameter.Nonprenex then Partial_order
+            else Total_order)
+      |> with_propagation
+           (match propagation with
+           | "watched" -> Watched
+           | "counters" -> Counters
+           | other ->
+               Printf.eprintf
+                 "unknown propagation engine %S (use watched or counters)\n"
+                 other;
+               exit 2)
+      |> with_should_stop
+           (Some (fun () -> Qbf_run.Limits.Deadline.expired deadline))
+      |> with_stop_flag (Some (Qbf_run.Limits.Interrupt.flag interrupt))
+      |> with_stop_interval 64
+      |> with_obs obs)
   in
   let t0 = Unix.gettimeofday () in
   let last = ref t0 in

@@ -108,7 +108,8 @@ let print_report_comments (r : Run.report) =
   | None -> ());
   Printf.printf "c %s\n" (Format.asprintf "%a" ST.pp_stats r.Run.stats)
 
-let run file heuristic propagation no_learning no_pure restarts prenex_to
+let run file heuristic propagation no_learning no_pure restarts
+    db_reduce_interval db_keep no_phase_saving prenex_to
     miniscope preprocess max_nodes timeout mem_limit use_portfolio json_status
     stats trace_file trace_every profile_on telemetry_file =
   (* Observability wiring: the trace (if any) is one JSONL stream shared
@@ -179,35 +180,37 @@ let run file heuristic propagation no_learning no_pure restarts prenex_to
   in
   prof_leave Profile.Prenex;
   let config =
-    {
-      ST.default_config with
-      ST.heuristic =
-        (match heuristic with
-        | "to" -> ST.Total_order
-        | "po" -> ST.Partial_order
-        | other ->
-            Printf.eprintf "unknown heuristic %S (use po or to)\n" other;
-            exit 2);
-      ST.propagation =
-        (match propagation with
-        | "watched" -> ST.Watched
-        | "counters" -> ST.Counters
-        | other ->
-            Printf.eprintf
-              "unknown propagation engine %S (use watched or counters)\n"
-              other;
-            exit 2);
-      ST.learning = not no_learning;
-      ST.pure_literals = not no_pure;
-      ST.restarts;
-      ST.db_reduction = restarts;
-      ST.max_nodes;
-    }
+    ST.(
+      default_config
+      |> with_heuristic
+           (match heuristic with
+           | "to" -> Total_order
+           | "po" -> Partial_order
+           | other ->
+               Printf.eprintf "unknown heuristic %S (use po or to)\n" other;
+               exit 2)
+      |> with_propagation
+           (match propagation with
+           | "watched" -> Watched
+           | "counters" -> Counters
+           | other ->
+               Printf.eprintf
+                 "unknown propagation engine %S (use watched or counters)\n"
+                 other;
+               exit 2)
+      |> with_learning (not no_learning)
+      |> with_pure_literals (not no_pure)
+      |> with_restarts restarts
+      |> with_db_reduction restarts
+      |> with_db_reduce_interval db_reduce_interval
+      |> with_db_keep_fraction db_keep
+      |> with_phase_saving (not no_phase_saving)
+      |> with_max_nodes max_nodes)
   in
   (* In single-solve mode the top-level collector rides in the config;
      in portfolio mode it only times parse/prenex and each attempt gets
      a fresh collector through the [observe] factory instead. *)
-  let config = if use_portfolio then config else { config with ST.obs } in
+  let config = if use_portfolio then config else ST.with_obs obs config in
   let limits =
     Limits.make ?timeout_s:timeout ?mem_mb:mem_limit ~poll_interval:64 ()
   in
@@ -397,6 +400,26 @@ let restarts_arg =
     & info [ "restarts" ]
         ~doc:"Enable Luby restarts and learned-database reduction.")
 
+let db_reduce_interval_arg =
+  Arg.(value
+    & opt int Qbf_solver.Solver_types.default_search.db_reduce_interval
+    & info [ "db-reduce-interval" ] ~docv:"N"
+        ~doc:"Leaves before the first learned-database reduction (the \
+              interval then grows geometrically).  Only meaningful with \
+              $(b,--restarts).")
+
+let db_keep_arg =
+  Arg.(value
+    & opt float Qbf_solver.Solver_types.default_search.db_keep_fraction
+    & info [ "db-keep" ] ~docv:"F"
+        ~doc:"Fraction of reduction candidates kept per cycle (0..1); \
+              locked and glue constraints are always kept.")
+
+let no_phase_saving_arg =
+  Arg.(value & flag
+    & info [ "no-phase-saving" ]
+        ~doc:"Branch on activity polarity instead of the saved phase.")
+
 let prenex_arg =
   Arg.(value & opt (some string) None
     & info [ "prenex" ] ~docv:"STRATEGY"
@@ -487,7 +510,8 @@ let cmd =
     Term.(
       const run $ file_arg $ heuristic_arg $ propagation_arg
       $ no_learning_arg $ no_pure_arg
-      $ restarts_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
+      $ restarts_arg $ db_reduce_interval_arg $ db_keep_arg
+      $ no_phase_saving_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
       $ max_nodes_arg $ timeout_arg $ mem_limit_arg $ portfolio_arg
       $ json_status_arg $ stats_arg $ trace_arg $ trace_every_arg
       $ profile_arg $ telemetry_arg)

@@ -51,7 +51,7 @@ let () =
     Qbf_prenex.Prenexing.apply Qbf_prenex.Prenexing.e_up_a_up formula
   in
   Format.printf "∃↑∀↑ prenex prefix: %a@." Prefix.pp (Formula.prefix prenexed);
-  let config = { ST.default_config with ST.heuristic = ST.Total_order } in
+  let config = ST.(default_config |> with_heuristic Total_order) in
   let to_ = Qbf_solver.Engine.solve ~config prenexed in
   Format.printf "QuBE(TO) says: %a  [%a]@." ST.pp_outcome to_.ST.outcome
     ST.pp_stats to_.ST.stats;

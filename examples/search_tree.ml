@@ -52,11 +52,8 @@ let () =
         Printf.printf "%s(backtrack to level %d)\n" (indent ()) level
   in
   let config =
-    {
-      ST.default_config with
-      ST.learning = false;
-      ST.on_event = Some on_event;
-    }
+    ST.(
+      default_config |> with_learning false |> with_on_event (Some on_event))
   in
   let r = Qbf_solver.Engine.solve ~config formula in
   Format.printf "@.result: %a — the paper's Figure 2 concludes FALSE too@."

@@ -41,14 +41,13 @@ let run ~timeout_s ~model ~n =
         else None
       in
       let config =
-        {
-          ST.default_config with
-          ST.learning = v.learning;
-          ST.pure_literals = v.pure_literals;
-          ST.aux_hint = aux;
-          ST.restarts = v.restarts;
-          ST.db_reduction = v.restarts;
-        }
+        ST.(
+          default_config
+          |> with_learning v.learning
+          |> with_pure_literals v.pure_literals
+          |> with_aux_hint aux
+          |> with_restarts v.restarts
+          |> with_db_reduction v.restarts)
       in
       let limits = Qbf_run.Limits.make ~timeout_s ~poll_interval:64 () in
       let r = Qbf_run.Run.solve ~limits ~config lay.Qbf_models.Diameter.formula in

@@ -42,15 +42,15 @@ let time_ratio r = r.rebuild.time_s /. Float.max 1e-6 r.inc.time_s
 let run_mode ~timeout_s ~style ~max_n ~mode model =
   let deadline = Limits.Deadline.after timeout_s in
   let config =
-    {
-      ST.default_config with
-      ST.heuristic =
-        (match style with
-        | D.Nonprenex -> ST.Partial_order
-        | D.Prenex -> ST.Total_order);
-      ST.should_stop = Some (fun () -> Limits.Deadline.expired deadline);
-      ST.stop_interval = 64;
-    }
+    ST.(
+      default_config
+      |> with_heuristic
+           (match style with
+           | D.Nonprenex -> Partial_order
+           | D.Prenex -> Total_order)
+      |> with_should_stop
+           (Some (fun () -> Limits.Deadline.expired deadline))
+      |> with_stop_interval 64)
   in
   let t0 = Unix.gettimeofday () in
   let last = ref t0 in

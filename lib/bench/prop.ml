@@ -67,14 +67,14 @@ let run_engine ~timeout_s ~max_n ~propagation model =
   let deadline = Limits.Deadline.after timeout_s in
   let obs = Obs.make ~metrics:(Metrics.create ()) ~profile:(Profile.create ()) () in
   let config =
-    {
-      ST.default_config with
-      ST.heuristic = ST.Partial_order;
-      ST.propagation;
-      ST.obs = Some obs;
-      ST.should_stop = Some (fun () -> Limits.Deadline.expired deadline);
-      ST.stop_interval = 64;
-    }
+    ST.(
+      default_config
+      |> with_heuristic Partial_order
+      |> with_propagation propagation
+      |> with_obs (Some obs)
+      |> with_should_stop
+           (Some (fun () -> Limits.Deadline.expired deadline))
+      |> with_stop_interval 64)
   in
   let t0 = Unix.gettimeofday () in
   let report = D.compute_report ~config ~max_n ~mode:`Incremental model in
@@ -108,9 +108,72 @@ let run ?(timeout_s = 60.) ?(max_n = 64) model =
   }
 
 (* ------------------------------------------------------------------ *)
+(* DB-reduction on/off series (the learned-DB lifecycle evidence):
+   the same DIA iteration on a large-DB instance with quality-based
+   reduction enabled vs. disabled.  Reduction must not change the
+   diameter, and [deleted] counts the constraints the reduce cycles
+   dropped — the bound the keep-fraction schedule puts on DB growth. *)
+
+type db_run = {
+  db_report : D.report;
+  db_time_s : float;
+  db_learned : int; (* constraints learned over the whole iteration *)
+  db_deleted : int; (* dropped by reduction cycles (0 when off) *)
+  db_decisions : int;
+}
+
+type db_result = {
+  db_model : string;
+  reduce_on : db_run;
+  reduce_off : db_run;
+}
+
+let db_agree r =
+  r.reduce_on.db_report.D.diameter = r.reduce_off.db_report.D.diameter
+  || r.reduce_on.db_report.D.diameter = None
+  || r.reduce_off.db_report.D.diameter = None
+
+let run_db_engine ~timeout_s ~max_n ~reduce model =
+  let deadline = Limits.Deadline.after timeout_s in
+  let obs = Obs.make ~metrics:(Metrics.create ()) () in
+  let config =
+    ST.(
+      default_config
+      |> with_heuristic Partial_order
+      |> with_restarts true
+      |> with_db_reduction reduce
+      |> with_db_reduce_interval 1024
+      |> with_obs (Some obs)
+      |> with_should_stop
+           (Some (fun () -> Limits.Deadline.expired deadline))
+      |> with_stop_interval 64)
+  in
+  let t0 = Unix.gettimeofday () in
+  let db_report = D.compute_report ~config ~max_n ~mode:`Incremental model in
+  let db_time_s = Unix.gettimeofday () -. t0 in
+  let m = Metrics.snapshot obs.Obs.metrics in
+  let counter name =
+    try List.assoc name m.Metrics.counters with Not_found -> 0
+  in
+  {
+    db_report;
+    db_time_s;
+    db_learned = counter "learned_clauses" + counter "learned_cubes";
+    db_deleted = counter "deleted_constraints";
+    db_decisions = counter "decisions";
+  }
+
+let run_db ?(timeout_s = 60.) ?(max_n = 64) model =
+  {
+    db_model = Qbf_models.Model.name model;
+    reduce_on = run_db_engine ~timeout_s ~max_n ~reduce:true model;
+    reduce_off = run_db_engine ~timeout_s ~max_n ~reduce:false model;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_prop.json *)
 
-let schema_version = 1
+let schema_version = 2
 
 let json_of_engine (r : engine_run) =
   Json.Obj
@@ -147,8 +210,32 @@ let json_of_result r =
       ("agree", Json.Bool (agree r));
     ]
 
-(* Write BENCH_prop.json under [dir] (created if missing). *)
-let write_json ~dir results =
+let json_of_db_run (r : db_run) =
+  Json.Obj
+    [
+      ( "diameter",
+        match r.db_report.D.diameter with
+        | Some d -> Json.Int d
+        | None -> Json.Null );
+      ("time_s", Json.Float r.db_time_s);
+      ("learned", Json.Int r.db_learned);
+      ("deleted", Json.Int r.db_deleted);
+      ("decisions", Json.Int r.db_decisions);
+    ]
+
+let json_of_db_result r =
+  Json.Obj
+    [
+      ("model", Json.String r.db_model);
+      ("reduce_on", json_of_db_run r.reduce_on);
+      ("reduce_off", json_of_db_run r.reduce_off);
+      ("agree", Json.Bool (db_agree r));
+    ]
+
+(* Write BENCH_prop.json under [dir] (created if missing).  [db] is the
+   reduction on/off series; the main watched-vs-counters rows stay under
+   "results" so bench_diff keeps gating them across schema bumps. *)
+let write_json ~dir ?(db = []) results =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let file = Filename.concat dir "BENCH_prop.json" in
   let oc = open_out file in
@@ -162,6 +249,7 @@ let write_json ~dir results =
                 ("schema", Json.String "qube-bench-prop");
                 ("v", Json.Int schema_version);
                 ("results", Json.List (List.map json_of_result results));
+                ("db_results", Json.List (List.map json_of_db_result db));
               ]));
       output_char oc '\n');
   file
@@ -191,4 +279,24 @@ let row_cells r =
     fmt_rate (engine_props_per_sec r.watched);
     fmt_rate (engine_props_per_sec r.counters);
     Printf.sprintf "%.2fx" (speedup r);
+  ]
+
+let db_header =
+  [
+    "model"; "d"; "on (s)"; "off (s)"; "learned on"; "deleted";
+    "learned off"; "agree";
+  ]
+
+let db_row_cells r =
+  [
+    r.db_model;
+    (match r.reduce_on.db_report.D.diameter with
+    | Some d -> string_of_int d
+    | None -> Printf.sprintf ">=%d" r.reduce_on.db_report.D.lower_bound);
+    Printf.sprintf "%.3f" r.reduce_on.db_time_s;
+    Printf.sprintf "%.3f" r.reduce_off.db_time_s;
+    string_of_int r.reduce_on.db_learned;
+    string_of_int r.reduce_on.db_deleted;
+    string_of_int r.reduce_off.db_learned;
+    (if db_agree r then "yes" else "NO");
   ]

@@ -50,7 +50,9 @@ let solve ?aux ?interrupt ?(observe = false) ~heuristic b formula =
     else None
   in
   let config =
-    { ST.default_config with ST.heuristic; ST.aux_hint = aux; ST.obs }
+    ST.(
+      default_config |> with_heuristic heuristic |> with_aux_hint aux
+      |> with_obs obs)
   in
   let r = Run.solve ~limits ?interrupt ~config formula in
   {

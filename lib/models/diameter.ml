@@ -118,10 +118,9 @@ let phi_styled model ~style ~n =
    CNF-conversion auxiliaries (improves good learning; see
    Qbf_solver.Analyze). *)
 let config_for ?(config = Qbf_solver.Solver_types.default_config) lay =
-  {
-    config with
-    Qbf_solver.Solver_types.aux_hint = Some (fun v -> v >= lay.first_aux);
-  }
+  Qbf_solver.Solver_types.with_aux_hint
+    (Some (fun v -> v >= lay.first_aux))
+    config
 
 (* ------------------------------------------------------------------ *)
 (* The diameter iteration, reported per bound.
@@ -225,7 +224,7 @@ let inc_create ?(config = ST.default_config) ?validate ~style model =
      table filled as gates are allocated (cf. [config_for]). *)
   let aux = Hashtbl.create 64 in
   let config =
-    { config with ST.aux_hint = Some (fun v -> Hashtbl.mem aux v) }
+    ST.with_aux_hint (Some (fun v -> Hashtbl.mem aux v)) config
   in
   let sess = Sess.create ~config ?validate () in
   (* Nonprenex: the tree of prefix (18) with g in the x^{n+1} role —

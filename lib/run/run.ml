@@ -125,8 +125,9 @@ let min_opt a b =
    pre-existing [should_stop]/[stop_flag] in the config is preserved:
    the deadline is OR-ed into the poll and the flag keeps priority. *)
 let effective_config (limits : Limits.t) interrupt deadline config =
+  let b = config.ST.budgets in
   let should_stop =
-    match (config.ST.should_stop, limits.Limits.timeout_s) with
+    match (b.ST.should_stop, limits.Limits.timeout_s) with
     | None, None -> None
     | user, _ ->
         Some
@@ -135,17 +136,20 @@ let effective_config (limits : Limits.t) interrupt deadline config =
             || match user with Some f -> f () | None -> false)
   in
   let stop_flag =
-    match config.ST.stop_flag with
+    match b.ST.stop_flag with
     | None -> Some (Limits.Interrupt.flag interrupt)
     | Some _ as user -> user
   in
-  {
-    config with
-    ST.should_stop;
-    ST.stop_flag;
-    ST.stop_interval = max 1 limits.Limits.poll_interval;
-    ST.max_nodes = min_opt config.ST.max_nodes limits.Limits.max_nodes;
-  }
+  ST.with_budgets
+    (fun b ->
+      {
+        b with
+        ST.should_stop;
+        stop_flag;
+        stop_interval = max 1 limits.Limits.poll_interval;
+        max_nodes = min_opt b.ST.max_nodes limits.Limits.max_nodes;
+      })
+    config
 
 let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
     formula =
@@ -183,13 +187,13 @@ let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
         else
           let nodes = ST.nodes r.ST.stats in
           let node_hit =
-            match config.ST.max_nodes with
+            match config.ST.budgets.ST.max_nodes with
             | Some m -> nodes >= m
             | None -> false
           in
           Some (if node_hit then Node_budget else Budget)
   in
-  let metrics, profile = snapshots_of_obs config.ST.obs in
+  let metrics, profile = snapshots_of_obs config.ST.observe.ST.obs in
   { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped; metrics; profile }
 
 (* ------------------------------------------------------------------ *)
@@ -237,15 +241,18 @@ module Session = struct
       match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
     in
     let config =
-      {
-        config with
-        ST.stop_flag =
-          (match config.ST.stop_flag with
-          | None -> Some (Limits.Interrupt.flag interrupt)
-          | Some _ as user -> user);
-        ST.stop_interval = max 1 limits.Limits.poll_interval;
-        ST.max_nodes = min_opt config.ST.max_nodes limits.Limits.max_nodes;
-      }
+      ST.with_budgets
+        (fun b ->
+          {
+            b with
+            ST.stop_flag =
+              (match b.ST.stop_flag with
+              | None -> Some (Limits.Interrupt.flag interrupt)
+              | Some _ as user -> user);
+            stop_interval = max 1 limits.Limits.poll_interval;
+            max_nodes = min_opt b.ST.max_nodes limits.Limits.max_nodes;
+          })
+        config
     in
     let raw =
       match seed with
@@ -298,13 +305,13 @@ module Session = struct
           else
             let nodes = ST.nodes (Qbf_solver.Session.stats t.raw) in
             let node_hit =
-              match t.config.ST.max_nodes with
+              match t.config.ST.budgets.ST.max_nodes with
               | Some m -> nodes >= m
               | None -> false
             in
             Some (if node_hit then Node_budget else Budget)
     in
-    let metrics, profile = snapshots_of_obs t.config.ST.obs in
+    let metrics, profile = snapshots_of_obs t.config.ST.observe.ST.obs in
     {
       outcome = r.ST.outcome;
       time;
@@ -340,31 +347,32 @@ let escalating ?(base = 0.5) ?(factor = 2.) ?(config = ST.default_config) ()
       label = "po-learn";
       budget_s = Some base;
       config =
-        { config with ST.heuristic = ST.Partial_order; ST.learning = true };
+        ST.(
+          config
+          |> with_heuristic Partial_order
+          |> with_learning true);
     };
     {
       label = "to-restarts";
       budget_s = Some (base *. factor);
       config =
-        {
-          config with
-          ST.heuristic = ST.Total_order;
-          ST.learning = true;
-          ST.restarts = true;
-          ST.db_reduction = true;
-        };
+        ST.(
+          config
+          |> with_heuristic Total_order
+          |> with_learning true
+          |> with_restarts true
+          |> with_db_reduction true);
     };
     {
       label = "po-restarts";
       budget_s = None;
       config =
-        {
-          config with
-          ST.heuristic = ST.Partial_order;
-          ST.learning = true;
-          ST.restarts = true;
-          ST.db_reduction = true;
-        };
+        ST.(
+          config
+          |> with_heuristic Partial_order
+          |> with_learning true
+          |> with_restarts true
+          |> with_db_reduction true);
     };
   ]
 
@@ -385,9 +393,9 @@ let portfolio ?(limits = Limits.default) ?interrupt ?observe attempts formula =
     match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
   in
   let config_of (a : attempt) =
-    match (a.config.ST.obs, observe) with
+    match (a.config.ST.observe.ST.obs, observe) with
     | Some _, _ | None, None -> a.config
-    | None, Some factory -> { a.config with ST.obs = Some (factory a.label) }
+    | None, Some factory -> ST.with_obs (Some (factory a.label)) a.config
   in
   let overall =
     match limits.Limits.timeout_s with

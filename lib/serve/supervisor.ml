@@ -826,7 +826,7 @@ let solve_inline t j =
              ~profile:(Qbf_obs.Profile.create ()) ())
       else None
     in
-    let config = { config with ST.obs = inline_obs } in
+    let config = ST.with_obs inline_obs config in
     let p = t.policy in
     let job = j.job in
     let limits =

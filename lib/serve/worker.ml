@@ -35,19 +35,23 @@ let config_of_label label =
   let base = ST.default_config in
   match label with
   | "po-watched" ->
-      Some { base with ST.heuristic = ST.Partial_order;
-             ST.propagation = ST.Watched }
+      Some
+        ST.(
+          base |> with_heuristic Partial_order |> with_propagation Watched)
   | "po-counters" ->
-      Some { base with ST.heuristic = ST.Partial_order;
-             ST.propagation = ST.Counters }
+      Some
+        ST.(
+          base |> with_heuristic Partial_order |> with_propagation Counters)
   | "to-watched" ->
-      Some { base with ST.heuristic = ST.Total_order;
-             ST.propagation = ST.Watched; ST.restarts = true;
-             ST.db_reduction = true }
+      Some
+        ST.(
+          base |> with_heuristic Total_order |> with_propagation Watched
+          |> with_restarts true |> with_db_reduction true)
   | "to-counters" ->
-      Some { base with ST.heuristic = ST.Total_order;
-             ST.propagation = ST.Counters; ST.restarts = true;
-             ST.db_reduction = true }
+      Some
+        ST.(
+          base |> with_heuristic Total_order |> with_propagation Counters
+          |> with_restarts true |> with_db_reduction true)
   | _ -> None
 
 let known_labels = [ "po-watched"; "to-watched"; "po-counters"; "to-counters" ]
@@ -186,7 +190,7 @@ let solve_dispatch ~out ~stats (d : Protocol.dispatch) =
     false
   in
   let config =
-    { config with ST.should_stop = Some beat; ST.obs }
+    ST.(config |> with_should_stop (Some beat) |> with_obs obs)
   in
   let limits =
     Limits.make

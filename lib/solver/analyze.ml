@@ -14,10 +14,19 @@
    invariant — it falls back to the sound chronological flip of plain
    Q-DLL (deepest unflipped existential decision for conflicts, deepest
    unflipped universal decision for solutions).  Learning is therefore an
-   accelerator and never a soundness risk. *)
+   accelerator and never a soundness risk.
+
+   Learned-DB lifecycle hooks live here too: every constraint that takes
+   part in a resolution (the starting conflict/cube and each antecedent
+   resolved on) gets its activity bumped, the per-analysis decay runs
+   once per leaf, and the learned constraint is scored with a quantified
+   LBD analog — the number of distinct decision levels among its
+   assigned literals, computed against the pre-backjump assignment —
+   which DB reduction later uses to keep glue. *)
 
 open Solver_types
 module S = State
+module Db = Constraint_db
 module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Trace = Qbf_obs.Trace
@@ -43,6 +52,21 @@ let note_learn s ~cube ~size ~from_level ~to_level =
 type conclusion =
   | Concluded of outcome
   | Continue
+
+(* Quantified LBD analog of a constraint about to be learned: distinct
+   decision levels among its assigned literals, against the assignment
+   *before* the backjump.  Clauses and cubes score through the same
+   definition — each is a set of literals pinned by its own player's
+   levels — so their glue values are comparable within a kind, which is
+   all DB reduction compares. *)
+let lbd_of s lits =
+  let tbl = Hashtbl.create 17 in
+  Array.iter
+    (fun l ->
+      let v = S.var l in
+      if S.is_assigned s v then Hashtbl.replace tbl s.S.vlevel.(v) ())
+    lits;
+  Hashtbl.length tbl
 
 (* ---------- chronological fallback (plain Q-DLL backtracking) --------- *)
 
@@ -141,14 +165,15 @@ let sorted_lits w = List.sort_uniq Int.compare w.members
 (* ---------- conflict analysis ------------------------------------------ *)
 
 let analyze_conflict s cid0 =
+  let db = s.S.db in
   let w = work_create () in
   let bad v = v = 1 in
-  let c0 = S.constr s cid0 in
-  Array.iter (work_add s w ~bad) c0.lits;
+  Db.iter_lits db cid0 (work_add s w ~bad);
+  Db.bump db cid0;
   (* Frame dependency of the derivation: the learned clause depends on
      every session frame an antecedent depends on, so it is tagged with
      the maximum and retracted when any of them is popped. *)
-  let max_frame = ref c0.frame in
+  let max_frame = ref (Db.frame db cid0) in
   let bound = 5000 + (4 * s.S.nvars) in
   let rec loop n =
     if n > bound then raise Fallback;
@@ -177,15 +202,18 @@ let analyze_conflict s cid0 =
           if ok_levels && ok_scope then begin
             let beta = max_level_of_others s w e in
             let lits = Array.of_list (sorted_lits w) in
+            let lbd = lbd_of s lits in
             let from_level = S.current_level s in
             (* backtrack *before* adding: the constraint computes its
                counters — or, under the watched engine, picks its watches
                and announces its asserting unit — against the
                post-backjump assignment *)
             S.backtrack s beta;
-            let _cid =
-              S.add_constraint s Clause_c ~learned:true ~frame:!max_frame lits
+            let cid =
+              S.add_constraint s Clause_c ~learned:true ~frame:!max_frame ~lbd
+                lits
             in
+            Db.bump db cid;
             s.S.stats.learned_clauses <- s.S.stats.learned_clauses + 1;
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
             note_learn s ~cube:false ~size:(Array.length lits) ~from_level
@@ -194,13 +222,13 @@ let analyze_conflict s cid0 =
           end
           else
             match s.S.reason.(S.var e) with
-            | Reason rid when (S.constr s rid).kind = Clause_c ->
-                let r = S.constr s rid in
-                if r.frame > !max_frame then max_frame := r.frame;
+            | Reason rid when not (Db.is_cube db rid) ->
+                if Db.frame db rid > !max_frame then
+                  max_frame := Db.frame db rid;
+                Db.bump db rid;
                 work_remove w e;
-                Array.iter
-                  (fun m -> if S.var m <> S.var e then work_add s w ~bad m)
-                  r.lits;
+                Db.iter_lits db rid (fun m ->
+                    if S.var m <> S.var e then work_add s w ~bad m);
                 loop (n + 1)
             | Reason _ | Decision | Flipped | Pure -> raise Fallback
   in
@@ -233,6 +261,7 @@ exception Cover_stuck
 let debug_cover = Sys.getenv_opt "QBF_DEBUG_COVER" <> None
 
 let cover_with s w ~virtual_flips =
+  let db = s.S.db in
   let bad v = v = 0 in
   let chosen = Hashtbl.create 64 in
   (* var -> literal of S *)
@@ -266,20 +295,22 @@ let cover_with s w ~virtual_flips =
   (* Clauses are processed newest-first: CNF conversion emits gate
      definitions before the clauses that use the gates, so reverse order
      sees each disjunction before its gates' definitions and picks the
-     structurally cheap cover. *)
-  for cid = Vec.length s.S.constrs - 1 downto 0 do
-    let c = S.constr s cid in
-    if (not c.learned) && c.kind = Clause_c && c.active then begin
+     structurally cheap cover.  (Arena compaction is stable, so this
+     order survives DB reduction and session retraction.) *)
+  for cid = Db.size db - 1 downto 0 do
+    if
+      (not (Db.learned db cid))
+      && (not (Db.is_cube db cid))
+      && Db.active db cid
+    then begin
       let already =
-        Array.exists
-          (fun m -> Hashtbl.find_opt chosen (S.var m) = Some m)
-          c.lits
+        Db.exists_lit db cid (fun m ->
+            Hashtbl.find_opt chosen (S.var m) = Some m)
       in
       if not already then begin
         let free v = not (Hashtbl.mem chosen v) in
         let best = ref (-1) and best_rank = ref max_int in
-        Array.iter
-          (fun m ->
+        Db.iter_lits db cid (fun m ->
             if free (S.var m) then
               match rank m with
               | Some r ->
@@ -291,17 +322,14 @@ let cover_with s w ~virtual_flips =
                     best := m;
                     best_rank := r
                   end
-              | None -> ())
-          c.lits;
+              | None -> ());
         if !best < 0 then raise Cover_stuck;
         (if debug_cover then begin
            Printf.eprintf "cover: rank%d pick %d for clause:" !best_rank !best;
-           Array.iter
-             (fun m ->
+           Db.iter_lits db cid (fun m ->
                Printf.eprintf " %d(%s%s)" m
                  (match S.lit_value s m with 1 -> "T" | 0 -> "F" | _ -> "?")
-                 (if s.S.drop_ok.(S.var m) then "d" else ""))
-             c.lits;
+                 (if s.S.drop_ok.(S.var m) then "d" else ""));
            prerr_newline ()
          end);
         choose !best
@@ -317,6 +345,7 @@ let cover_cube s w =
       cover_with s w ~virtual_flips:false
 
 let analyze_solution s source =
+  let db = s.S.db in
   let w = work_create () in
   let bad v = v = 0 in
   (* A cover good entails the whole current matrix, so it depends on the
@@ -325,11 +354,13 @@ let analyze_solution s source =
     ref
       (match source with
       | Propagate.Cover -> s.S.frame_level
-      | Propagate.Cube cid -> (S.constr s cid).frame)
+      | Propagate.Cube cid -> Db.frame db cid)
   in
   (match source with
   | Propagate.Cover -> cover_cube s w
-  | Propagate.Cube cid -> Array.iter (work_add s w ~bad) (S.constr s cid).lits);
+  | Propagate.Cube cid ->
+      Db.iter_lits db cid (work_add s w ~bad);
+      Db.bump db cid);
   let bound = 5000 + (4 * s.S.nvars) in
   let rec loop n =
     if n > bound then raise Fallback;
@@ -360,11 +391,14 @@ let analyze_solution s source =
           if ok_levels && ok_scope then begin
             let beta = max_level_of_others s w u in
             let lits = Array.of_list (sorted_lits w) in
+            let lbd = lbd_of s lits in
             let from_level = S.current_level s in
             S.backtrack s beta;
-            let _cid =
-              S.add_constraint s Cube_c ~learned:true ~frame:!max_frame lits
+            let cid =
+              S.add_constraint s Cube_c ~learned:true ~frame:!max_frame ~lbd
+                lits
             in
+            Db.bump db cid;
             s.S.stats.learned_cubes <- s.S.stats.learned_cubes + 1;
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
             note_learn s ~cube:true ~size:(Array.length lits) ~from_level
@@ -373,13 +407,13 @@ let analyze_solution s source =
           end
           else
             match s.S.reason.(S.var u) with
-            | Reason rid when (S.constr s rid).kind = Cube_c ->
-                let r = S.constr s rid in
-                if r.frame > !max_frame then max_frame := r.frame;
+            | Reason rid when Db.is_cube db rid ->
+                if Db.frame db rid > !max_frame then
+                  max_frame := Db.frame db rid;
+                Db.bump db rid;
                 work_remove w u;
-                Array.iter
-                  (fun m -> if S.var m <> S.var u then work_add s w ~bad m)
-                  r.lits;
+                Db.iter_lits db rid (fun m ->
+                    if S.var m <> S.var u then work_add s w ~bad m);
                 loop (n + 1)
             | Reason _ | Decision | Flipped | Pure -> raise Fallback
   in
@@ -388,21 +422,25 @@ let analyze_solution s source =
 (* ---------- entry points ------------------------------------------------ *)
 
 let handle_conflict s cid =
-  if not s.S.config.learning then chrono s ~exist_side:true
-  else
+  if not s.S.config.search.learning then chrono s ~exist_side:true
+  else begin
+    Db.decay s.S.db;
     match analyze_conflict s cid with
     | `False -> Concluded False
     | `Learned -> Continue
     | exception Fallback ->
         s.S.stats.chrono_fallbacks <- s.S.stats.chrono_fallbacks + 1;
         chrono s ~exist_side:true
+  end
 
 let handle_solution s source =
-  if not s.S.config.learning then chrono s ~exist_side:false
-  else
+  if not s.S.config.search.learning then chrono s ~exist_side:false
+  else begin
+    Db.decay s.S.db;
     match analyze_solution s source with
     | `True -> Concluded True
     | `Learned -> Continue
     | exception Fallback ->
         s.S.stats.chrono_fallbacks <- s.S.stats.chrono_fallbacks + 1;
         chrono s ~exist_side:false
+  end

@@ -5,6 +5,7 @@
 
 open Solver_types
 module S = State
+module Db = Constraint_db
 module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Trace = Qbf_obs.Trace
@@ -18,18 +19,17 @@ let leaves s = s.S.stats.conflicts + s.S.stats.solutions
    [should_stop] — typically a [Unix.gettimeofday] deadline — is polled
    only every [stop_interval] checks behind a tick counter. *)
 let budget_exhausted s =
-  (match s.S.config.stop_flag with Some r -> !r | None -> false)
-  || (match s.S.config.max_decisions with
+  let b = s.S.config.budgets in
+  (match b.stop_flag with Some r -> !r | None -> false)
+  || (match b.max_decisions with
      | Some m -> s.S.stats.decisions >= m
      | None -> false)
-  || (match s.S.config.max_nodes with
-     | Some m -> leaves s >= m
-     | None -> false)
-  || (match s.S.config.should_stop with
+  || (match b.max_nodes with Some m -> leaves s >= m | None -> false)
+  || (match b.should_stop with
      | None -> false
      | Some f ->
          s.S.stop_ticks <- s.S.stop_ticks + 1;
-         if s.S.stop_ticks >= s.S.config.stop_interval then begin
+         if s.S.stop_ticks >= b.stop_interval then begin
            s.S.stop_ticks <- 0;
            f ()
          end
@@ -39,19 +39,19 @@ let budget_exhausted s =
    variables end up assigned; rescan to recover it (soundness net, see
    State).  Returns a conflicting clause id if one exists. *)
 let rescan_falsified s =
+  let db = s.S.db in
   let rec go cid =
-    if cid >= Vec.length s.S.constrs then None
-    else
-      let c = S.constr s cid in
-      if
-        c.active && c.kind = Clause_c
-        &&
-        if c.w1 >= 0 then
-          let ue, _, fixed = S.scan_status s c in
-          fixed = 0 && ue = 0
-        else c.fixed = 0 && c.ue = 0
-      then Some cid
-      else go (cid + 1)
+    if cid >= Db.size db then None
+    else if
+      Db.active db cid
+      && (not (Db.is_cube db cid))
+      &&
+      if Db.watched db cid then
+        let ue, _, fixed = S.scan_status s cid in
+        fixed = 0 && ue = 0
+      else Db.fixed db cid = 0 && Db.ue db cid = 0
+    then Some cid
+    else go (cid + 1)
   in
   go 0
 
@@ -63,31 +63,61 @@ let rec luby i =
   let k = find 1 in
   if pow2 k - 1 = i then pow2 (k - 1) else luby (i - pow2 (k - 1) + 1)
 
-(* Drop the oldest unlocked learned constraints when the learned
-   database outgrows twice the original matrix. *)
+(* Learned constraints with this LBD or less are glue: kept forever,
+   like Glucose's level-2 clauses. *)
+let glue_lbd = 2
+
+(* Quality-based DB reduction.  Candidates are active learned
+   constraints that are neither locked (the reason of an assigned
+   variable — dropping one would orphan the trail and the analysis
+   resolutions) nor glue; of those, drop the worst
+   [1 - db_keep_fraction] by (LBD desc, activity asc, age) and compact
+   the arena, which patches every outstanding id through the relocation
+   map (State.compact_db).  Clauses and cubes are scored by the same
+   rule: both kinds accumulate activity through their resolutions and
+   both carry the quantified LBD analog. *)
 let reduce_db s =
-  let total = Vec.length s.S.constrs in
-  let originals = s.S.num_original in
-  let learned = total - originals in
-  let cap = max 2000 (2 * originals) in
-  if learned > cap then begin
-    let locked = Hashtbl.create 64 in
-    for v = 0 to s.S.nvars - 1 do
-      if S.is_assigned s v then
-        match s.S.reason.(v) with
-        | Reason rid -> Hashtbl.replace locked rid ()
-        | Decision | Flipped | Pure -> ()
+  let db = s.S.db in
+  let n = Db.size db in
+  let locked = Array.make (max n 1) false in
+  for v = 0 to s.S.nvars - 1 do
+    if S.is_assigned s v then
+      match s.S.reason.(v) with
+      | Reason rid -> locked.(rid) <- true
+      | Decision | Flipped | Pure -> ()
+  done;
+  let cand = ref [] in
+  let ncand = ref 0 in
+  for cid = 0 to n - 1 do
+    if
+      Db.active db cid && Db.learned db cid
+      && (not locked.(cid))
+      && Db.lbd db cid > glue_lbd
+    then begin
+      cand := cid :: !cand;
+      incr ncand
+    end
+  done;
+  let keep = s.S.config.search.db_keep_fraction in
+  let keep = if keep < 0. then 0. else if keep > 1. then 1. else keep in
+  let drop = int_of_float (float_of_int !ncand *. (1. -. keep)) in
+  if drop > 0 then begin
+    let arr = Array.of_list !cand in
+    (* worst first: high LBD, then low activity, then oldest *)
+    Array.sort
+      (fun a b ->
+        let c = compare (Db.lbd db b) (Db.lbd db a) in
+        if c <> 0 then c
+        else
+          let c = compare (Db.activity db a) (Db.activity db b) in
+          if c <> 0 then c else compare a b)
+      arr;
+    let o = s.S.obs in
+    for i = 0 to drop - 1 do
+      S.deactivate_constraint s arr.(i);
+      if o.Obs.metrics_on then Metrics.on_delete o.Obs.metrics
     done;
-    let to_drop = ref (learned / 2) in
-    let cid = ref originals in
-    while !to_drop > 0 && !cid < total do
-      let c = S.constr s !cid in
-      if c.active && c.learned && not (Hashtbl.mem locked !cid) then begin
-        S.deactivate_constraint s !cid;
-        decr to_drop
-      end;
-      incr cid
-    done
+    ignore (S.compact_db s)
   end
 
 let solve_state s =
@@ -96,9 +126,9 @@ let solve_state s =
   let leaves_at_restart = ref 0 in
   let maybe_restart () =
     if
-      s.S.config.restarts
+      s.S.config.search.restarts
       && leaves s - !leaves_at_restart
-         >= s.S.config.restart_base * luby !restart_idx
+         >= s.S.config.search.restart_base * luby !restart_idx
       && S.current_level s > 0
     then begin
       S.backtrack s 0;
@@ -111,9 +141,27 @@ let solve_state s =
           ~arg:s.S.stats.restarts_done
     end
   in
+  (* DB reduction fires on a leaf *threshold*, not a modulus: several
+     leaves can pass inside one propagation wave, and [leaves s mod k]
+     silently skips the reduction when the count jumps past the
+     boundary.  The interval grows geometrically after every reduction,
+     so a long search reduces ever more rarely as survivors prove
+     themselves. *)
+  let reduce_interval =
+    ref (max 1 s.S.config.search.db_reduce_interval)
+  in
+  let next_reduce = ref !reduce_interval in
+  let maybe_reduce () =
+    if s.S.config.search.db_reduction && leaves s >= !next_reduce then begin
+      reduce_db s;
+      reduce_interval :=
+        max (!reduce_interval + 1) (!reduce_interval * 3 / 2);
+      next_reduce := leaves s + !reduce_interval
+    end
+  in
   let maybe_rescale () =
     let n = leaves s in
-    if n > 0 && n mod s.S.config.rescale_interval = 0 then
+    if n > 0 && n mod s.S.config.search.rescale_interval = 0 then
       S.rescale_activities s
   in
   (* Phase spans are opened and closed inline under the profile flag so
@@ -141,7 +189,7 @@ let solve_state s =
         maybe_rescale ();
         continue_with (analyzed_solution src)
     | Propagate.P_none ->
-        if s.S.config.debug_checks then begin
+        if s.S.config.search.debug_checks then begin
           match S.find_missed_discovery s with
           | Some (_, what) ->
               failwith ("debug_checks: missed " ^ what ^ " at fixpoint")
@@ -199,8 +247,7 @@ let solve_state s =
           (* restarts and database reduction happen between leaves, when
              no analysis is in flight *)
           maybe_restart ();
-          if s.S.config.db_reduction && leaves s mod 512 = 0 then
-            reduce_db s;
+          maybe_reduce ();
           loop ()
         end
   in
@@ -215,10 +262,14 @@ let solve_state s =
    invariants. *)
 let solve ?(config = default_config) formula =
   let s =
-    match config.obs with
+    match config.observe.obs with
     | Some o when o.Obs.profile_on ->
         Profile.span o.Obs.profile Profile.Build (fun () ->
             S.create formula config)
     | _ -> S.create formula config
   in
   solve_state s
+
+(* Test hook: run one reduction cycle against the current state exactly
+   as the search loop would. *)
+let reduce_db_for_testing = reduce_db

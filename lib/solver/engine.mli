@@ -27,3 +27,9 @@ val solve :
 (** Run the search loop on a prepared state.  Internal: {!Session} is
     the supported way to drive the engine across multiple calls. *)
 val solve_state : State.t -> Solver_types.result
+
+(** Run one learned-DB reduction cycle (deactivate the worst unlocked,
+    non-glue learned constraints per [db_keep_fraction], then compact
+    the arena) exactly as the search loop's periodic trigger would.
+    Exposed for white-box tests only. *)
+val reduce_db_for_testing : State.t -> unit

@@ -6,6 +6,7 @@
 
 open Solver_types
 module S = State
+module Db = Constraint_db
 module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Trace = Qbf_obs.Trace
@@ -41,43 +42,43 @@ type outcome =
    the queue being drained, so draining terminates). *)
 
 let pop_conflict s =
+  let db = s.S.db in
   let rec go () =
     if Vec.is_empty s.S.conflict_q then None
     else
       let cid = Vec.pop s.S.conflict_q in
-      let c = S.constr s cid in
-      c.cq_mark <- 0;
-      if not (c.active && c.kind = Clause_c) then go ()
-      else if c.w1 >= 0 then begin
-        let ue, _, fixed = S.scan_status s c in
+      Db.set_cq_mark db cid 0;
+      if not (Db.active db cid && not (Db.is_cube db cid)) then go ()
+      else if Db.watched db cid then begin
+        let ue, _, fixed = S.scan_status s cid in
         if fixed = 0 && ue = 0 then Some cid
         else begin
-          S.repair_watches s cid c;
+          S.repair_watches s cid;
           go ()
         end
       end
-      else if c.fixed = 0 && c.ue = 0 then Some cid
+      else if Db.fixed db cid = 0 && Db.ue db cid = 0 then Some cid
       else go ()
   in
   go ()
 
 let pop_cube_solution s =
+  let db = s.S.db in
   let rec go () =
     if Vec.is_empty s.S.cubesat_q then None
     else
       let cid = Vec.pop s.S.cubesat_q in
-      let c = S.constr s cid in
-      c.cq_mark <- 0;
-      if not (c.active && c.kind = Cube_c) then go ()
-      else if c.w1 >= 0 then begin
-        let _, uu, fixed = S.scan_status s c in
+      Db.set_cq_mark db cid 0;
+      if not (Db.active db cid && Db.is_cube db cid) then go ()
+      else if Db.watched db cid then begin
+        let _, uu, fixed = S.scan_status s cid in
         if fixed = 0 && uu = 0 then Some cid
         else begin
-          S.repair_watches s cid c;
+          S.repair_watches s cid;
           go ()
         end
       end
-      else if c.fixed = 0 && c.uu = 0 then Some cid
+      else if Db.fixed db cid = 0 && Db.uu db cid = 0 then Some cid
       else go ()
   in
   go ()
@@ -85,21 +86,18 @@ let pop_cube_solution s =
 (* The clause unit rule (Lemma 5): a clause with a single unassigned
    existential literal [le], no true literal, and no unassigned universal
    literal [u] with [|u| ≺ |le|] forces [le]. *)
-let try_unit_clause s cid c =
+let try_unit_clause s cid =
+  let db = s.S.db in
   let le = ref (-1) in
-  Array.iter
-    (fun m ->
-      if S.lit_value s m < 0 && s.S.is_exist.(S.var m) then le := m)
-    c.lits;
+  Db.iter_lits db cid (fun m ->
+      if S.lit_value s m < 0 && s.S.is_exist.(S.var m) then le := m);
   let le = !le in
   assert (le >= 0);
   let blocked =
-    Array.exists
-      (fun m ->
+    Db.exists_lit db cid (fun m ->
         S.lit_value s m < 0
-        && (not (s.S.is_exist.(S.var m)))
+        && (not s.S.is_exist.(S.var m))
         && S.precedes s (S.var m) (S.var le))
-      c.lits
   in
   if blocked then false
   else begin
@@ -113,21 +111,18 @@ let try_unit_clause s cid c =
 (* Dual unit rule for cubes: a cube with a single unassigned universal
    literal [lu], no false literal, and no unassigned existential [e] with
    [|e| ≺ |lu|] forces the universal player to falsify [lu]. *)
-let try_unit_cube s cid c =
+let try_unit_cube s cid =
+  let db = s.S.db in
   let lu = ref (-1) in
-  Array.iter
-    (fun m ->
-      if S.lit_value s m < 0 && not s.S.is_exist.(S.var m) then lu := m)
-    c.lits;
+  Db.iter_lits db cid (fun m ->
+      if S.lit_value s m < 0 && not s.S.is_exist.(S.var m) then lu := m);
   let lu = !lu in
   assert (lu >= 0);
   let blocked =
-    Array.exists
-      (fun m ->
+    Db.exists_lit db cid (fun m ->
         S.lit_value s m < 0
         && s.S.is_exist.(S.var m)
         && S.precedes s (S.var m) (S.var lu))
-      c.lits
   in
   if blocked then false
   else begin
@@ -139,54 +134,54 @@ let try_unit_cube s cid c =
   end
 
 let pop_unit s =
+  let db = s.S.db in
   let rec go () =
     if Vec.is_empty s.S.unit_q then false
     else
       let cid = Vec.pop s.S.unit_q in
-      let c = S.constr s cid in
-      c.uq_mark <- 0;
+      Db.set_uq_mark db cid 0;
       let fired =
-        c.active
+        Db.active db cid
         &&
-        if c.w1 >= 0 then begin
-          let ue, uu, fixed = S.scan_status s c in
+        if Db.watched db cid then begin
+          let ue, uu, fixed = S.scan_status s cid in
           if fixed <> 0 then begin
-            S.repair_watches s cid c;
+            S.repair_watches s cid;
             false
           end
           else
-            match c.kind with
+            match Db.kind db cid with
             | Clause_c ->
                 if ue = 0 then begin
                   (* became conflicting after it was queued as unit *)
-                  S.push_conflict s cid c;
+                  S.push_conflict s cid;
                   false
                 end
                 else
                   ue = 1
-                  && (try_unit_clause s cid c
+                  && (try_unit_clause s cid
                      ||
                      (* blocked: a compatible pair (the forced literal +
                         its blocker) exists, rewatch on it *)
-                     (S.repair_watches s cid c;
+                     (S.repair_watches s cid;
                       false))
             | Cube_c ->
                 if uu = 0 then begin
-                  S.push_cubesat s cid c;
+                  S.push_cubesat s cid;
                   false
                 end
                 else
                   uu = 1
-                  && (try_unit_cube s cid c
-                     || (S.repair_watches s cid c;
+                  && (try_unit_cube s cid
+                     || (S.repair_watches s cid;
                          false))
         end
         else
-          c.fixed = 0
+          Db.fixed db cid = 0
           &&
-          match c.kind with
-          | Clause_c -> c.ue = 1 && try_unit_clause s cid c
-          | Cube_c -> c.uu = 1 && try_unit_cube s cid c
+          match Db.kind db cid with
+          | Clause_c -> Db.ue db cid = 1 && try_unit_clause s cid
+          | Cube_c -> Db.uu db cid = 1 && try_unit_cube s cid
       in
       fired || go ()
   in
@@ -245,6 +240,7 @@ let pop_deferred_pure s =
 
 (* Run propagation to quiescence or to the first conflict/solution. *)
 let run s =
+  let pure = s.S.config.search.pure_literals in
   let rec loop () =
     match pop_conflict s with
     | Some cid -> P_conflict cid
@@ -255,9 +251,8 @@ let run s =
           | Some cid -> P_solution (Cube cid)
           | None ->
               if pop_unit s then loop ()
-              else if s.S.config.pure_literals && pop_pure s then loop ()
-              else if s.S.config.pure_literals && pop_deferred_pure s then
-                loop ()
+              else if pure && pop_pure s then loop ()
+              else if pure && pop_deferred_pure s then loop ()
               else P_none
         end
   in

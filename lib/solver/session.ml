@@ -56,11 +56,11 @@ let create ?(config = default_config) ?(validate = default_validate) () =
      swappable hook with whatever the caller configured, so each call
      can install its own deadline without rebuilding the state. *)
   let should_stop =
-    match config.should_stop with
+    match config.budgets.should_stop with
     | None -> Some (fun () -> !hook ())
     | Some user -> Some (fun () -> !hook () || user ())
   in
-  let config = { config with should_stop } in
+  let config = with_should_stop should_stop config in
   let empty = Formula.make (Prefix.of_forest ~nvars:0 []) [] in
   {
     nodes = Vec.create dummy_node;
@@ -155,7 +155,11 @@ let pop t =
   (* pending clauses of the popped frame never reached the state *)
   t.pending <- List.filter (fun (_, f) -> f <= t.frame) t.pending;
   S.clear_trail t.state;
-  S.retract_above t.state t.frame
+  S.retract_above t.state t.frame;
+  (* Reclaim the retracted slots at once: frame retraction goes through
+     the relocation map, so occurrence and watch lists shed the dead ids
+     here instead of carrying them until the next search touches them. *)
+  ignore (S.compact_db t.state)
 
 let frame t = t.frame
 
@@ -203,6 +207,7 @@ let flush t =
   end;
   if t.pending <> [] then begin
     S.invalidate_cubes s;
+    ignore (S.compact_db s);
     List.iter
       (fun (lits, frame) ->
         ignore (S.add_constraint s Clause_c ~learned:false ~frame lits))
@@ -282,12 +287,13 @@ type db_stats = {
 
 let db_stats t =
   let s = t.state in
+  let db = s.S.db in
   let orig = ref 0 and lc = ref 0 and cu = ref 0 in
-  for cid = 0 to Vec.length s.S.constrs - 1 do
-    let c = S.constr s cid in
-    if c.active then
-      if not c.learned then incr orig
-      else match c.kind with Clause_c -> incr lc | Cube_c -> incr cu
+  for cid = 0 to Constraint_db.size db - 1 do
+    if Constraint_db.active db cid then
+      if not (Constraint_db.learned db cid) then incr orig
+      else if Constraint_db.is_cube db cid then incr cu
+      else incr lc
   done;
   {
     originals_active = !orig;

@@ -12,44 +12,6 @@ type kind =
    learned database. *)
 type prop_engine = Counters | Watched
 
-type constr = {
-  lits : int array; (* literals as raw ints, see {!Qbf_core.Lit} *)
-  kind : kind;
-  learned : bool;
-  frame : int;
-      (* session push/pop frame this constraint depends on: the frame
-         that was current when an original constraint was added, or the
-         maximum frame over the antecedents of a learned constraint's
-         resolution derivation.  Popping frame [k] retracts every
-         constraint with [frame > k] — exactly the ones whose derivation
-         used a retracted original.  One-shot solving runs entirely in
-         frame 0. *)
-  mutable ue : int; (* unassigned existential literals *)
-  mutable uu : int; (* unassigned universal literals *)
-  mutable fixed : int;
-      (* clauses: number of currently true literals (satisfied when > 0);
-         cubes: number of currently false literals (dead when > 0).
-         Meaningless (left at 0) for watch-maintained constraints, whose
-         state is recomputed by scanning [lits] on demand. *)
-  mutable active : bool;
-  mutable w1 : int;
-  mutable w2 : int;
-      (* the two watched literals, or -1 when the constraint is
-         counter-maintained; [w1 = w2] on unit-size constraints *)
-  mutable uq_mark : int;
-  mutable cq_mark : int;
-      (* discovery-queue dedup stamps, compared against State.qepoch so
-         one propagation wave enqueues a constraint at most once on
-         unit_q ([uq_mark]) and on conflict_q/cubesat_q ([cq_mark]) *)
-  mutable parked : bool;
-      (* watch-maintained constraint currently lacking a structurally
-         compatible pair of eligible watches (fired unit, announced
-         conflict/solution, or satisfied with a lone eligible literal).
-         Registered in State.parked and re-repaired after every
-         backtrack, since assignments that make it actionable again may
-         not touch its watches *)
-}
-
 type antecedent =
   | Decision (* branching choice, first branch *)
   | Flipped (* branching choice, second branch after a chronological flip *)
@@ -145,23 +107,30 @@ type event =
   | E_solution_leaf
   | E_backtrack of int (* target decision level *)
 
-(* Engine configuration.  The knobs fall into four groups:
+(* ------------------------------------------------------------------ *)
+(* Engine configuration.
 
-   {b Search strategy} — what the solver does at each node:
-   [learning], [pure_literals], [heuristic], [rescale_interval],
-   [restarts], [restart_base], [db_reduction].
+   The knobs are grouped into four sub-records so call sites say which
+   facet they are changing instead of fishing one field out of a flat
+   17-field record:
 
-   {b Budgets} — when the solver gives up with [Unknown]:
-   [max_decisions], [max_nodes], [should_stop], [stop_flag],
-   [stop_interval].
+   - [search]  — what the solver does at each node;
+   - [budgets] — when it gives up with [Unknown];
+   - [observe] — what it reports while running;
+   - [hints]   — input structure the engine cannot infer.
 
-   {b Observability} — what it reports while running:
-   [on_event], [obs].
+   Build configurations with the [with_*] combinators, e.g.
 
-   {b Structure hints} — information about the input the engine cannot
-   infer: [aux_hint]. *)
-type config = {
-  (* -- search strategy -------------------------------------------------- *)
+     ST.(default_config
+         |> with_heuristic Partial_order
+         |> with_restarts true
+         |> with_max_nodes (Some 10_000))
+
+   Each targeted setter rebuilds only its own group, so configurations
+   compose left to right and [default_config] stays the single source
+   of defaults. *)
+
+type search = {
   learning : bool; (* nogood + good learning with backjumping *)
   pure_literals : bool;
   heuristic : heuristic_mode;
@@ -171,13 +140,29 @@ type config = {
          constraint may be undetectedly conflicting, unit, or (for
          cubes) satisfied when the engine is about to branch.  O(db)
          per decision — tests and fuzzing only *)
-  rescale_interval : int; (* activity-halving period, in leaves *)
+  rescale_interval : int; (* variable-activity-halving period, in leaves *)
   restarts : bool; (* Luby-scheduled restarts (keep learned constraints) *)
   restart_base : int; (* leaves per Luby unit *)
+  phase_saving : bool;
+      (* remember each variable's last assigned polarity at unassign
+         time and branch on it again first (consulted by
+         Heuristic.phase_literal), so restarts resume near the part of
+         the search space they left *)
   db_reduction : bool;
-      (* periodically drop the oldest unlocked learned constraints when
-         the learned database outgrows the original matrix *)
-  (* -- budgets ---------------------------------------------------------- *)
+      (* periodically drop the worst-scored unlocked learned
+         constraints (high LBD, low activity) and compact the arena;
+         locked (reason) and glue (LBD <= 2) constraints always stay *)
+  db_reduce_interval : int;
+      (* leaves before the first reduction; the interval then grows
+         geometrically (x1.5) so later reductions are rarer as the
+         database earns its keep *)
+  db_keep_fraction : float;
+      (* fraction of reducible learned constraints kept per reduction,
+         clamped to [0,1]; locked and glue constraints are kept on top
+         of this *)
+}
+
+type budgets = {
   max_decisions : int option;
   max_nodes : int option; (* bound on conflicts + solutions *)
   should_stop : (unit -> bool) option; (* external budget, e.g. wall clock *)
@@ -190,14 +175,18 @@ type config = {
          check (the historical behaviour), larger values amortize an
          expensive poll such as [Unix.gettimeofday] behind a tick
          counter *)
-  (* -- observability ---------------------------------------------------- *)
+}
+
+type observe = {
   on_event : (event -> unit) option;
   obs : Qbf_obs.Obs.t option;
       (* observability collector (metrics registry, trace emitter, phase
          profiler).  [None] installs the shared all-off collector: every
          instrumentation site then costs one flag load and one untaken
          branch, so the search path is unchanged in practice *)
-  (* -- structure hints -------------------------------------------------- *)
+}
+
+type hints = {
   aux_hint : (int -> bool) option;
       (* marks auxiliary (CNF-conversion) variables; solution analysis
          may then cover clauses with *virtually flipped* auxiliary
@@ -205,26 +194,84 @@ type config = {
          learned goods short (see Analyze.cover_with) *)
 }
 
-let default_config =
+type config = {
+  search : search;
+  budgets : budgets;
+  observe : observe;
+  hints : hints;
+}
+
+let default_search =
   {
     learning = true;
     pure_literals = true;
     heuristic = Partial_order;
     propagation = Watched;
     debug_checks = false;
+    rescale_interval = 256;
+    restarts = false;
+    restart_base = 128;
+    phase_saving = true;
+    db_reduction = false;
+    db_reduce_interval = 2048;
+    db_keep_fraction = 0.5;
+  }
+
+let default_budgets =
+  {
     max_decisions = None;
     max_nodes = None;
     should_stop = None;
     stop_flag = None;
     stop_interval = 1;
-    rescale_interval = 256;
-    restarts = false;
-    restart_base = 128;
-    db_reduction = false;
-    on_event = None;
-    obs = None;
-    aux_hint = None;
   }
+
+let default_observe = { on_event = None; obs = None }
+let default_hints = { aux_hint = None }
+
+let default_config =
+  {
+    search = default_search;
+    budgets = default_budgets;
+    observe = default_observe;
+    hints = default_hints;
+  }
+
+(* Group rewriters *)
+let with_search f c = { c with search = f c.search }
+let with_budgets f c = { c with budgets = f c.budgets }
+let with_observe f c = { c with observe = f c.observe }
+let with_hints f c = { c with hints = f c.hints }
+
+(* Targeted setters, one per knob *)
+let with_learning v = with_search (fun s -> { s with learning = v })
+let with_pure_literals v = with_search (fun s -> { s with pure_literals = v })
+let with_heuristic v = with_search (fun s -> { s with heuristic = v })
+let with_propagation v = with_search (fun s -> { s with propagation = v })
+let with_debug_checks v = with_search (fun s -> { s with debug_checks = v })
+
+let with_rescale_interval v =
+  with_search (fun s -> { s with rescale_interval = v })
+
+let with_restarts v = with_search (fun s -> { s with restarts = v })
+let with_restart_base v = with_search (fun s -> { s with restart_base = v })
+let with_phase_saving v = with_search (fun s -> { s with phase_saving = v })
+let with_db_reduction v = with_search (fun s -> { s with db_reduction = v })
+
+let with_db_reduce_interval v =
+  with_search (fun s -> { s with db_reduce_interval = v })
+
+let with_db_keep_fraction v =
+  with_search (fun s -> { s with db_keep_fraction = v })
+
+let with_max_decisions v = with_budgets (fun b -> { b with max_decisions = v })
+let with_max_nodes v = with_budgets (fun b -> { b with max_nodes = v })
+let with_should_stop v = with_budgets (fun b -> { b with should_stop = v })
+let with_stop_flag v = with_budgets (fun b -> { b with stop_flag = v })
+let with_stop_interval v = with_budgets (fun b -> { b with stop_interval = v })
+let with_on_event v = with_observe (fun o -> { o with on_event = v })
+let with_obs v = with_observe (fun o -> { o with obs = v })
+let with_aux_hint v = with_hints (fun _ -> { aux_hint = v })
 
 type result = { outcome : outcome; stats : stats }
 

@@ -4,6 +4,12 @@
    Literals are raw ints (see {!Qbf_core.Lit}); [2*v] is the positive
    literal of variable [v].
 
+   Constraints live in {!Constraint_db}, a flat-arena store addressed by
+   dense integer ids; this module holds every structure that *refers* to
+   those ids (occurrence lists, watch lists, reasons, discovery queues)
+   and owns the compaction protocol that keeps them in sync when the
+   database drops constraints ({!compact_db}).
+
    Counter scheme: every constraint keeps the number of its unassigned
    existential ([ue]) and universal ([uu]) literals plus a [fixed] counter
    (true literals for clauses, false literals for cubes).  Then, with the
@@ -16,16 +22,17 @@
    queues which the propagation loop re-verifies (they may be stale after
    backtracking, which clears the queues).
 
-   Under [config.propagation = Watched] the counter scheme above is kept
-   for *original* constraints only (purity needs exact [pos_unsat] and
-   [unsat_originals] transitions) while learned constraints — the
-   unbounded part of the database — are maintained lazily with two
-   watched literals: they are absent from the occurrence lists, so
-   [unassign] never touches them and [assign] visits only the watch
-   lists of the literal being falsified (truthified for cubes). *)
+   Under [config.search.propagation = Watched] the counter scheme above
+   is kept for *original* constraints only (purity needs exact
+   [pos_unsat] and [unsat_originals] transitions) while learned
+   constraints — the unbounded part of the database — are maintained
+   lazily with two watched literals: they are absent from the occurrence
+   lists, so [unassign] never touches them and [assign] visits only the
+   watch lists of the literal being falsified (truthified for cubes). *)
 
 open Qbf_core
 open Solver_types
+module Db = Constraint_db
 module Obs = Qbf_obs.Obs
 module Metrics = Qbf_obs.Metrics
 module Trace = Qbf_obs.Trace
@@ -46,12 +53,12 @@ type t = {
   mutable nvars : int;
   config : config;
   stats : stats;
-  constrs : constr Vec.t;
+  db : Db.t; (* all constraints, originals and learned *)
   mutable occ : int Vec.t array;
       (* per literal: ids of counter-maintained constraints containing it
          (all constraints under [Counters]; originals only under
          [Watched]) *)
-  use_watches : bool; (* config.propagation = Watched, cached *)
+  use_watches : bool; (* config.search.propagation = Watched, cached *)
   mutable watch_cl : int Vec.t array;
       (* per literal: watch-maintained clauses watching it, visited when
          the literal becomes false *)
@@ -61,11 +68,15 @@ type t = {
   mutable qepoch : int;
       (* current propagation-wave id for queue-push dedup: bumped by
          {!clear_queues}; a constraint whose stamp equals it is already
-         enqueued this wave (see Solver_types.constr) *)
+         enqueued this wave (see Constraint_db marks) *)
   mutable value : int array; (* per var: -1 unassigned / 0 false / 1 true *)
   mutable reason : antecedent array; (* per var *)
   mutable vlevel : int array; (* per var: decision level of assignment *)
   mutable pos : int array; (* per var: trail index of assignment *)
+  mutable saved_phase : int array;
+      (* per var: polarity of the last assignment (0 false / 1 true), -1
+         before the first; written at every unassign and consulted by
+         Heuristic.phase_literal when [config.search.phase_saving] *)
   trail : int Vec.t; (* assigned literals (true), oldest first *)
   trail_lim : int Vec.t; (* trail length at the start of each level *)
   dec_flipped : bool Vec.t; (* per level: second branch of a flip? *)
@@ -89,8 +100,9 @@ type t = {
   pure_q : int Vec.t; (* candidate *absent* literals *)
   parked_q : int Vec.t;
       (* watch-maintained constraints whose watches are not a
-         structurally compatible eligible pair (see constr.parked);
-         re-repaired against the new assignment after every backtrack *)
+         structurally compatible eligible pair (see Constraint_db
+         [parked]); re-repaired against the new assignment after every
+         backtrack *)
   pure_defer_q : int Vec.t;
       (* existential pure candidates whose assignment would satisfy
          clauses; deferred until quiescence so that satisfied-elsewhere
@@ -105,7 +117,7 @@ type t = {
       (* per var: existential with no universal variable anywhere in its
          ≺-scope, so existential reduction removes it from any cube *)
   mutable is_aux : bool array;
-      (* per var: declared auxiliary (config.aux_hint) and reducible *)
+      (* per var: declared auxiliary (config.hints.aux_hint) and reducible *)
   mutable po_block_best : float array;
   mutable po_child_max : float array;
       (* per block: scratch score arrays of Heuristic.pick_partial_order,
@@ -113,28 +125,11 @@ type t = {
          decision; fully rewritten on each use *)
   mutable frame_level : int;
       (* current session push/pop frame; constraints added now are
-         tagged with it (see Solver_types.constr and Session) *)
+         tagged with it (see Constraint_db and Session) *)
   mutable retracted_constraints : int;
       (* constraints deactivated by session pops / cube invalidation,
          kept separate from stats.deleted_constraints (DB reduction) *)
 }
-
-let dummy_constr =
-  {
-    lits = [||];
-    kind = Clause_c;
-    learned = false;
-    frame = 0;
-    ue = 0;
-    uu = 0;
-    fixed = 0;
-    active = false;
-    w1 = -1;
-    w2 = -1;
-    uq_mark = 0;
-    cq_mark = 0;
-    parked = false;
-  }
 
 (* [precedes s v v'] is the paper's z ≺ z' test, eq. (13). *)
 let precedes s v v' = s.d.(v) < s.d.(v') && s.d.(v') <= s.f.(v)
@@ -145,8 +140,9 @@ let lit_value s l =
 
 let is_assigned s v = s.value.(v) >= 0
 let current_level s = Vec.length s.trail_lim
-let constr s cid = Vec.get s.constrs cid
-let event s e = match s.config.on_event with None -> () | Some f -> f e
+
+let event s e =
+  match s.config.observe.on_event with None -> () | Some f -> f e
 
 (* --- discovery-queue pushes (deduplicated per wave) --------------------- *)
 
@@ -157,21 +153,21 @@ let event s e = match s.config.on_event with None -> () | Some f -> f e
    the same wave (unit first, conflicting after more assignments) is
    re-enqueued.  [cq_mark] is shared between conflict_q and cubesat_q —
    a constraint is a clause or a cube, never both. *)
-let push_unit s cid c =
-  if c.uq_mark <> s.qepoch then begin
-    c.uq_mark <- s.qepoch;
+let push_unit s cid =
+  if Db.uq_mark s.db cid <> s.qepoch then begin
+    Db.set_uq_mark s.db cid s.qepoch;
     Vec.push s.unit_q cid
   end
 
-let push_conflict s cid c =
-  if c.cq_mark <> s.qepoch then begin
-    c.cq_mark <- s.qepoch;
+let push_conflict s cid =
+  if Db.cq_mark s.db cid <> s.qepoch then begin
+    Db.set_cq_mark s.db cid s.qepoch;
     Vec.push s.conflict_q cid
   end
 
-let push_cubesat s cid c =
-  if c.cq_mark <> s.qepoch then begin
-    c.cq_mark <- s.qepoch;
+let push_cubesat s cid =
+  if Db.cq_mark s.db cid <> s.qepoch then begin
+    Db.set_cq_mark s.db cid s.qepoch;
     Vec.push s.cubesat_q cid
   end
 
@@ -181,36 +177,36 @@ let push_cubesat s cid c =
    computed on the matrix (as in QuBE), which is also what lets the
    watched engine keep learned constraints out of the counters. *)
 
-let clause_now_satisfied s c =
+let clause_now_satisfied s cid =
   (* fixed went 0 -> 1: the clause leaves the "unsatisfied" pool. *)
-  if not c.learned then begin
+  if not (Db.learned s.db cid) then begin
     s.unsat_originals <- s.unsat_originals - 1;
-    Array.iter
-      (fun m ->
+    Db.iter_lits s.db cid (fun m ->
         s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
-        if s.pos_unsat.(m) = 0 && s.config.pure_literals then
+        if s.pos_unsat.(m) = 0 && s.config.search.pure_literals then
           Vec.push s.pure_q m)
-      c.lits
   end
 
-let clause_now_unsatisfied s c =
+let clause_now_unsatisfied s cid =
   (* fixed went 1 -> 0 on backtrack. *)
-  if not c.learned then begin
+  if not (Db.learned s.db cid) then begin
     s.unsat_originals <- s.unsat_originals + 1;
-    Array.iter (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1) c.lits
+    Db.iter_lits s.db cid (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1)
   end
 
 (* --- constraint touch on assignment ------------------------------------ *)
 
-let check_clause_state s cid c =
-  if c.fixed = 0 then
-    if c.ue = 0 then push_conflict s cid c
-    else if c.ue = 1 then push_unit s cid c
+let check_clause_state s cid =
+  if Db.fixed s.db cid = 0 then
+    let ue = Db.ue s.db cid in
+    if ue = 0 then push_conflict s cid
+    else if ue = 1 then push_unit s cid
 
-let check_cube_state s cid c =
-  if c.fixed = 0 then
-    if c.uu = 0 then push_cubesat s cid c
-    else if c.uu = 1 then push_unit s cid c
+let check_cube_state s cid =
+  if Db.fixed s.db cid = 0 then
+    let uu = Db.uu s.db cid in
+    if uu = 0 then push_cubesat s cid
+    else if uu = 1 then push_unit s cid
 
 (* --- watched literals (learned constraints under Watched) --------------- *)
 
@@ -240,39 +236,36 @@ let eligible s kind m =
 
 (* Find two distinct eligible, structurally compatible literals: two
    primaries (existentials of a clause / universals of a cube), else one
-   primary plus an eligible secondary preceding it.  Scans in array
+   primary plus an eligible secondary preceding it.  Scans in arena
    order, so the result is deterministic. *)
-let find_watch_pair s c =
+let find_watch_pair s cid =
+  let kind = Db.kind s.db cid in
   let primary m =
-    match c.kind with
+    match kind with
     | Clause_c -> s.is_exist.(var m)
     | Cube_c -> not s.is_exist.(var m)
   in
   let p1 = ref (-1) and p2 = ref (-1) in
-  Array.iter
-    (fun m ->
-      if eligible s c.kind m && primary m then
-        if !p1 < 0 then p1 := m else if !p2 < 0 then p2 := m)
-    c.lits;
+  Db.iter_lits s.db cid (fun m ->
+      if eligible s kind m && primary m then
+        if !p1 < 0 then p1 := m else if !p2 < 0 then p2 := m);
   if !p1 < 0 then None
   else if !p2 >= 0 then Some (!p1, !p2)
   else begin
     let p = !p1 in
     let sec = ref (-1) in
-    Array.iter
-      (fun m ->
+    Db.iter_lits s.db cid (fun m ->
         if
           !sec < 0
           && (not (primary m))
-          && eligible s c.kind m
+          && eligible s kind m
           && precedes s (var m) (var p)
-        then sec := m)
-      c.lits;
+        then sec := m);
     if !sec >= 0 then Some (p, !sec) else None
   end
 
-let unwatch s c cid m =
-  let wl = watch_list s c.kind m in
+let unwatch s kind cid m =
+  let wl = watch_list s kind m in
   let rec go i =
     if i < Vec.length wl then
       if Vec.get wl i = cid then Vec.swap_remove wl i else go (i + 1)
@@ -283,41 +276,40 @@ let unwatch s c cid m =
    watch list of an *ineligible* literal: that literal is never in the
    new pair, so its entry — the one at the iteration cursor — is
    removed. *)
-let set_watch_pair s cid c a b =
+let set_watch_pair s cid a b =
+  let kind = Db.kind s.db cid in
   let keep x = x = a || x = b in
-  let old1 = c.w1 and old2 = c.w2 in
+  let old1 = Db.w1 s.db cid and old2 = Db.w2 s.db cid in
   if old1 >= 0 then begin
-    if not (keep old1) then unwatch s c cid old1;
-    if old2 <> old1 && not (keep old2) then unwatch s c cid old2
+    if not (keep old1) then unwatch s kind cid old1;
+    if old2 <> old1 && not (keep old2) then unwatch s kind cid old2
   end;
-  c.w1 <- a;
-  c.w2 <- b;
-  if a <> old1 && a <> old2 then Vec.push (watch_list s c.kind a) cid;
-  if b <> a && b <> old1 && b <> old2 then Vec.push (watch_list s c.kind b) cid
+  Db.set_watches s.db cid a b;
+  if a <> old1 && a <> old2 then Vec.push (watch_list s kind a) cid;
+  if b <> a && b <> old1 && b <> old2 then Vec.push (watch_list s kind b) cid
 
 (* Exact state of a watch-maintained constraint (its counter fields are
    dead), by scanning the assignment. *)
-let scan_status s c =
+let scan_status s cid =
+  let is_cube = Db.is_cube s.db cid in
   let ue = ref 0 and uu = ref 0 and fixed = ref 0 in
-  Array.iter
-    (fun m ->
+  Db.iter_lits s.db cid (fun m ->
       match lit_value s m with
       | -1 -> if s.is_exist.(var m) then incr ue else incr uu
-      | 1 -> if c.kind = Clause_c then incr fixed
-      | _ -> if c.kind = Cube_c then incr fixed)
-    c.lits;
+      | 1 -> if not is_cube then incr fixed
+      | _ -> if is_cube then incr fixed);
   (!ue, !uu, !fixed)
 
-let classify_and_queue s cid c =
-  let ue, uu, fixed = scan_status s c in
+let classify_and_queue s cid =
+  let ue, uu, fixed = scan_status s cid in
   if fixed = 0 then
-    match c.kind with
+    match Db.kind s.db cid with
     | Clause_c ->
-        if ue = 0 then push_conflict s cid c
-        else if ue = 1 then push_unit s cid c
+        if ue = 0 then push_conflict s cid
+        else if ue = 1 then push_unit s cid
     | Cube_c ->
-        if uu = 0 then push_cubesat s cid c
-        else if uu = 1 then push_unit s cid c
+        if uu = 0 then push_cubesat s cid
+        else if uu = 1 then push_unit s cid
 
 (* A compatible eligible watch pair cannot be found right now: flag the
    constraint and register it for post-backtrack repair.  Assignments
@@ -326,9 +318,9 @@ let classify_and_queue s cid c =
    backtrack can silently revive an actionable state without ever
    touching its watches — e.g. a fired unit whose implied literal is
    undone while the falsifying literals survive below the target. *)
-let register_parked s cid c =
-  if not c.parked then begin
-    c.parked <- true;
+let register_parked s cid =
+  if not (Db.parked s.db cid) then begin
+    Db.set_parked s.db cid true;
     Vec.push s.parked_q cid
   end
 
@@ -337,12 +329,12 @@ let register_parked s cid c =
    constraints popped from a discovery queue without firing: their
    queued state was stale, but their watches were left broken when the
    entry was pushed. *)
-let repair_watches s cid c =
-  match find_watch_pair s c with
-  | Some (a, b) -> set_watch_pair s cid c a b
+let repair_watches s cid =
+  match find_watch_pair s cid with
+  | Some (a, b) -> set_watch_pair s cid a b
   | None ->
-      classify_and_queue s cid c;
-      register_parked s cid c
+      classify_and_queue s cid;
+      register_parked s cid
 
 (* Install watches on a fresh watch-maintained constraint.  When no
    eligible compatible pair exists the constraint is already actionable
@@ -352,23 +344,24 @@ let repair_watches s cid c =
    exists the constraint is satisfied, two-open, or a blocked unit
    (primary + unassigned blocker, which is a watch and will wake it),
    none of which propagation could use now, so no queue entry is made. *)
-let init_watches s cid c =
-  match find_watch_pair s c with
+let init_watches s cid =
+  let kind = Db.kind s.db cid in
+  match find_watch_pair s cid with
   | Some (a, b) ->
-      c.w1 <- a;
-      c.w2 <- b;
-      Vec.push (watch_list s c.kind a) cid;
-      Vec.push (watch_list s c.kind b) cid
+      Db.set_watches s.db cid a b;
+      Vec.push (watch_list s kind a) cid;
+      Vec.push (watch_list s kind b) cid
   | None ->
-      let n = Array.length c.lits in
+      let n = Db.num_lits s.db cid in
       if n > 0 then begin
-        c.w1 <- c.lits.(0);
-        c.w2 <- c.lits.(if n > 1 then 1 else 0);
-        Vec.push (watch_list s c.kind c.w1) cid;
-        if c.w2 <> c.w1 then Vec.push (watch_list s c.kind c.w2) cid
+        let a = Db.lit s.db cid 0 in
+        let b = Db.lit s.db cid (if n > 1 then 1 else 0) in
+        Db.set_watches s.db cid a b;
+        Vec.push (watch_list s kind a) cid;
+        if b <> a then Vec.push (watch_list s kind b) cid
       end;
-      classify_and_queue s cid c;
-      register_parked s cid c
+      classify_and_queue s cid;
+      register_parked s cid
 
 (* [m], a watched literal, just became false (clauses) / true (cubes):
    visit every watch-maintained constraint watching it.  [park] is the
@@ -383,82 +376,75 @@ let visit_watchers s kind m =
   let i = ref 0 in
   while !i < Vec.length wl do
     let cid = Vec.get wl !i in
-    let c = Vec.get s.constrs cid in
-    if not c.active then Vec.swap_remove wl !i (* deactivated: lazy drop *)
-    else if c.w1 <> m && c.w2 <> m then Vec.swap_remove wl !i (* stale *)
+    if not (Db.active s.db cid) then
+      Vec.swap_remove wl !i (* deactivated: lazy drop *)
     else
-      let other = if c.w1 = m then c.w2 else c.w1 in
-      if other <> m && lit_value s other = park then incr i
+      let w1 = Db.w1 s.db cid and w2 = Db.w2 s.db cid in
+      if w1 <> m && w2 <> m then Vec.swap_remove wl !i (* stale *)
       else
-        match find_watch_pair s c with
-        | Some (a, b) ->
-            (* [m] is ineligible, so the new pair excludes it and this
-               removes the entry at [!i]: do not advance *)
-            set_watch_pair s cid c a b
-        | None ->
-            classify_and_queue s cid c;
-            register_parked s cid c;
-            incr i
+        let other = if w1 = m then w2 else w1 in
+        if other <> m && lit_value s other = park then incr i
+        else
+          match find_watch_pair s cid with
+          | Some (a, b) ->
+              (* [m] is ineligible, so the new pair excludes it and this
+                 removes the entry at [!i]: do not advance *)
+              set_watch_pair s cid a b
+          | None ->
+              classify_and_queue s cid;
+              register_parked s cid;
+              incr i
   done
 
-(* Debug oracle for [config.debug_checks]: scan every active constraint
-   and report one whose state the discovery machinery should have
-   announced — a conflicting or Lemma-5-unit clause, a satisfied or
+(* Debug oracle for [config.search.debug_checks]: scan every active
+   constraint and report one whose state the discovery machinery should
+   have announced — a conflicting or Lemma-5-unit clause, a satisfied or
    dual-unit cube.  Only meaningful at a propagation fixpoint (all
    queues drained, nothing fired); the engine calls it right before
    branching.  O(db) per call, debug builds only. *)
 let find_missed_discovery s =
-  let blocked_unit c =
+  let blocked_unit cid =
     (* the single unassigned primary is blocked by an unassigned
        secondary that precedes it (Lemma 5 and its dual) *)
+    let is_clause = not (Db.is_cube s.db cid) in
     let prim = ref (-1) in
-    Array.iter
-      (fun m ->
-        if
-          lit_value s m < 0
-          && s.is_exist.(var m) = (c.kind = Clause_c)
-        then prim := m)
-      c.lits;
+    Db.iter_lits s.db cid (fun m ->
+        if lit_value s m < 0 && s.is_exist.(var m) = is_clause then prim := m);
     !prim >= 0
-    && Array.exists
-         (fun m ->
+    && Db.exists_lit s.db cid (fun m ->
            lit_value s m < 0
-           && s.is_exist.(var m) <> (c.kind = Clause_c)
+           && s.is_exist.(var m) <> is_clause
            && precedes s (var m) (var !prim))
-         c.lits
   in
-  let describe cid c what =
+  let describe cid what =
     let b = Buffer.create 128 in
     Buffer.add_string b
       (Printf.sprintf "%s (constraint %d, %s%s, watches %d/%d) lits:" what cid
-         (match c.kind with Clause_c -> "clause" | Cube_c -> "cube")
-         (if c.learned then " learned" else "")
-         c.w1 c.w2);
-    Array.iter
-      (fun m ->
+         (match Db.kind s.db cid with Clause_c -> "clause" | Cube_c -> "cube")
+         (if Db.learned s.db cid then " learned" else "")
+         (Db.w1 s.db cid) (Db.w2 s.db cid));
+    Db.iter_lits s.db cid (fun m ->
         Buffer.add_string b
           (Printf.sprintf " %s%d%s=%d"
              (if s.is_exist.(var m) then "e" else "u")
              (var m)
              (if m land 1 = 1 then "'" else "")
-             (lit_value s m)))
-      c.lits;
+             (lit_value s m)));
     Buffer.contents b
   in
   let missed = ref None in
-  for cid = 0 to Vec.length s.constrs - 1 do
-    let c = Vec.get s.constrs cid in
-    if !missed = None && c.active && Array.length c.lits > 0 then begin
-      let ue, uu, fixed = scan_status s c in
-      let bad what = missed := Some (cid, describe cid c what) in
+  for cid = 0 to Db.size s.db - 1 do
+    if !missed = None && Db.active s.db cid && Db.num_lits s.db cid > 0 then begin
+      let ue, uu, fixed = scan_status s cid in
+      let bad what = missed := Some (cid, describe cid what) in
       if fixed = 0 then
-        match c.kind with
+        match Db.kind s.db cid with
         | Clause_c ->
             if ue = 0 then bad "conflicting clause"
-            else if ue = 1 && not (blocked_unit c) then bad "unit clause"
+            else if ue = 1 && not (blocked_unit cid) then bad "unit clause"
         | Cube_c ->
             if uu = 0 then bad "satisfied cube"
-            else if uu = 1 && not (blocked_unit c) then bad "unit cube"
+            else if uu = 1 && not (blocked_unit cid) then bad "unit cube"
     end
   done;
   !missed
@@ -466,32 +452,31 @@ let find_missed_discovery s =
 (* [m] (a literal of constraint [cid]) was just assigned; [m_true] says
    whether it became true. *)
 let touch_assign s cid m m_true =
-  let c = Vec.get s.constrs cid in
-  if c.active then begin
-    if s.is_exist.(var m) then c.ue <- c.ue - 1 else c.uu <- c.uu - 1;
-    match c.kind with
-    | Clause_c ->
-        if m_true then begin
-          c.fixed <- c.fixed + 1;
-          if c.fixed = 1 then clause_now_satisfied s c
-        end
-        else check_clause_state s cid c
-    | Cube_c ->
-        if m_true then check_cube_state s cid c
-        else c.fixed <- c.fixed + 1
+  let db = s.db in
+  if Db.active db cid then begin
+    if s.is_exist.(var m) then Db.add_ue db cid (-1) else Db.add_uu db cid (-1);
+    if not (Db.is_cube db cid) then begin
+      if m_true then begin
+        Db.add_fixed db cid 1;
+        if Db.fixed db cid = 1 then clause_now_satisfied s cid
+      end
+      else check_clause_state s cid
+    end
+    else if m_true then check_cube_state s cid
+    else Db.add_fixed db cid 1
   end
 
 let touch_unassign s cid m m_was_true =
-  let c = Vec.get s.constrs cid in
-  if c.active then begin
-    if s.is_exist.(var m) then c.ue <- c.ue + 1 else c.uu <- c.uu + 1;
-    match c.kind with
-    | Clause_c ->
-        if m_was_true then begin
-          c.fixed <- c.fixed - 1;
-          if c.fixed = 0 then clause_now_unsatisfied s c
-        end
-    | Cube_c -> if not m_was_true then c.fixed <- c.fixed - 1
+  let db = s.db in
+  if Db.active db cid then begin
+    if s.is_exist.(var m) then Db.add_ue db cid 1 else Db.add_uu db cid 1;
+    if not (Db.is_cube db cid) then begin
+      if m_was_true then begin
+        Db.add_fixed db cid (-1);
+        if Db.fixed db cid = 0 then clause_now_unsatisfied s cid
+      end
+    end
+    else if not m_was_true then Db.add_fixed db cid (-1)
   end
 
 (* --- assignment and backtracking --------------------------------------- *)
@@ -518,6 +503,9 @@ let unassign s l =
   let v = var l in
   Vec.iter (fun cid -> touch_unassign s cid l true) s.occ.(l);
   Vec.iter (fun cid -> touch_unassign s cid (neg l) false) s.occ.(neg l);
+  (* phase saving: remember the polarity this assignment had, whoever
+     made it; the heuristic decides whether to consult it *)
+  s.saved_phase.(v) <- s.value.(v);
   s.value.(v) <- -1;
   s.reason.(v) <- Decision;
   let b = s.block_of.(v) in
@@ -545,19 +533,18 @@ let repair_parked s =
   let i = ref 0 in
   while !i < Vec.length s.parked_q do
     let cid = Vec.get s.parked_q !i in
-    let c = Vec.get s.constrs cid in
-    if not c.active then begin
-      c.parked <- false;
+    if not (Db.active s.db cid) then begin
+      Db.set_parked s.db cid false;
       Vec.swap_remove s.parked_q !i
     end
     else
-      match find_watch_pair s c with
+      match find_watch_pair s cid with
       | Some (a, b) ->
-          set_watch_pair s cid c a b;
-          c.parked <- false;
+          set_watch_pair s cid a b;
+          Db.set_parked s.db cid false;
           Vec.swap_remove s.parked_q !i
       | None ->
-          classify_and_queue s cid c;
+          classify_and_queue s cid;
           incr i
   done
 
@@ -607,53 +594,38 @@ let new_decision s l ~flipped =
    flagging it on the discovery queues if it is already unit, conflicting
    or satisfied-as-a-cube.  Returns its id.  [frame] defaults to the
    current session frame; Analyze passes the maximum antecedent frame of
-   a learned constraint's derivation. *)
-let add_constraint s kind ~learned ?frame lits =
+   a learned constraint's derivation, and [lbd] the quantified
+   LBD analog it computed at learning time. *)
+let add_constraint s kind ~learned ?frame ?(lbd = 0) lits =
   let frame = match frame with Some f -> f | None -> s.frame_level in
-  let cid = Vec.length s.constrs in
-  let c =
-    {
-      lits;
-      kind;
-      learned;
-      frame;
-      ue = 0;
-      uu = 0;
-      fixed = 0;
-      active = true;
-      w1 = -1;
-      w2 = -1;
-      uq_mark = 0;
-      cq_mark = 0;
-      parked = false;
-    }
-  in
-  Vec.push s.constrs c;
+  let cid = Db.add s.db ~kind ~learned ~frame lits in
+  Db.set_lbd s.db cid lbd;
   let watch_only = s.use_watches && learned in
+  let ue = ref 0 and uu = ref 0 and fixed = ref 0 in
   Array.iter
     (fun m ->
       s.counter.(m) <- s.counter.(m) + 1;
       if not watch_only then begin
         Vec.push s.occ.(m) cid;
         match lit_value s m with
-        | -1 ->
-            if s.is_exist.(var m) then c.ue <- c.ue + 1 else c.uu <- c.uu + 1
-        | 1 -> if kind = Clause_c then c.fixed <- c.fixed + 1
-        | _ -> if kind = Cube_c then c.fixed <- c.fixed + 1
+        | -1 -> if s.is_exist.(var m) then incr ue else incr uu
+        | 1 -> if kind = Clause_c then incr fixed
+        | _ -> if kind = Cube_c then incr fixed
       end)
     lits;
-  if watch_only then init_watches s cid c
+  if not watch_only then Db.set_counters s.db cid ~ue:!ue ~uu:!uu ~fixed:!fixed;
+  if watch_only then init_watches s cid
   else
     (match kind with
     | Clause_c ->
-        if c.fixed = 0 then begin
+        if !fixed = 0 then begin
           if not learned then begin
             s.unsat_originals <- s.unsat_originals + 1;
             Array.iter (fun m -> s.pos_unsat.(m) <- s.pos_unsat.(m) + 1) lits
           end;
-          check_clause_state s cid c
+          check_clause_state s cid
         end
-    | Cube_c -> check_cube_state s cid c);
+    | Cube_c -> check_cube_state s cid);
   if not learned then s.num_original <- s.num_original + 1;
   cid
 
@@ -707,7 +679,7 @@ let prefix_tables prefix config =
   let is_aux = Array.make n false in
   for v = 0 to nvars - 1 do
     drop_ok.(v) <- is_exist.(v) && not univ_below.(Prefix.block_of prefix v);
-    match config.aux_hint with
+    match config.hints.aux_hint with
     | Some h -> is_aux.(v) <- drop_ok.(v) && h v
     | None -> ()
   done;
@@ -744,9 +716,9 @@ let create formula config =
       nvars;
       config;
       stats = empty_stats ();
-      constrs = Vec.create dummy_constr;
+      db = Db.create ();
       occ = Array.init (2 * n) (fun _ -> Vec.create (-1));
-      use_watches = config.propagation = Watched;
+      use_watches = config.search.propagation = Watched;
       watch_cl = Array.init (2 * n) (fun _ -> Vec.create (-1));
       watch_cu = Array.init (2 * n) (fun _ -> Vec.create (-1));
       qepoch = 1;
@@ -754,6 +726,7 @@ let create formula config =
       reason = Array.make n Decision;
       vlevel = Array.make n (-1);
       pos = Array.make n (-1);
+      saved_phase = Array.make n (-1);
       trail = Vec.create (-1);
       trail_lim = Vec.create (-1);
       dec_flipped = Vec.create false;
@@ -764,7 +737,7 @@ let create formula config =
       d = tb.t_d;
       f = tb.t_f;
       plevel = tb.t_plevel;
-      obs = (match config.obs with Some o -> o | None -> Obs.none);
+      obs = (match config.observe.obs with Some o -> o | None -> Obs.none);
       pos_unsat = Array.make (2 * n) 0;
       counter = Array.make (2 * n) 0;
       act = Array.make (2 * n) 0.;
@@ -802,7 +775,7 @@ let create formula config =
     s.last_counter.(l) <- s.counter.(sel)
   done;
   (* Initial purity candidates: literals with no occurrence at all. *)
-  if config.pure_literals then
+  if config.search.pure_literals then
     for l = 0 to (2 * nvars) - 1 do
       if s.pos_unsat.(l) = 0 then Vec.push s.pure_q l
     done;
@@ -810,25 +783,27 @@ let create formula config =
 
 (* Take an active constraint out of the occurrence/purity counters; the
    shared tail of DB-reduction deletion and session retraction.
-   Occurrence lists keep the stale id (touches check [active]). *)
-let drop_from_counters s c =
-  c.active <- false;
-  Array.iter (fun m -> s.counter.(m) <- s.counter.(m) - 1) c.lits;
-  if c.kind = Clause_c && (not c.learned) && c.fixed = 0 then
-    Array.iter
-      (fun m ->
+   Occurrence lists keep the stale id until the next {!compact_db}
+   (touches check [active]). *)
+let drop_from_counters s cid =
+  Db.deactivate s.db cid;
+  Db.iter_lits s.db cid (fun m -> s.counter.(m) <- s.counter.(m) - 1);
+  if
+    (not (Db.is_cube s.db cid))
+    && (not (Db.learned s.db cid))
+    && Db.fixed s.db cid = 0
+  then
+    Db.iter_lits s.db cid (fun m ->
         s.pos_unsat.(m) <- s.pos_unsat.(m) - 1;
-        if s.pos_unsat.(m) = 0 && s.config.pure_literals then
+        if s.pos_unsat.(m) = 0 && s.config.search.pure_literals then
           Vec.push s.pure_q m)
-      c.lits
 
 (* Deactivate a learned constraint (DB reduction): it stops
    participating in propagation and purity.  The caller guarantees the
    constraint is not the reason of any assigned variable. *)
 let deactivate_constraint s cid =
-  let c = Vec.get s.constrs cid in
-  if c.active then begin
-    drop_from_counters s c;
+  if Db.active s.db cid then begin
+    drop_from_counters s cid;
     s.stats.deleted_constraints <- s.stats.deleted_constraints + 1;
     let o = s.obs in
     if o.Obs.metrics_on then Metrics.on_delete o.Obs.metrics;
@@ -842,16 +817,64 @@ let deactivate_constraint s cid =
    [unsat_originals]) is maintained too.  Requires an empty trail (the
    session clears it first), so an active clause has [fixed = 0]. *)
 let retract_constraint s cid =
-  let c = Vec.get s.constrs cid in
-  if c.active then begin
-    if not c.learned then begin
+  if Db.active s.db cid then begin
+    if not (Db.learned s.db cid) then begin
       s.num_original <- s.num_original - 1;
-      if c.kind = Clause_c && c.fixed = 0 then
+      if (not (Db.is_cube s.db cid)) && Db.fixed s.db cid = 0 then
         s.unsat_originals <- s.unsat_originals - 1
     end;
-    drop_from_counters s c;
+    drop_from_counters s cid;
     s.retracted_constraints <- s.retracted_constraints + 1
   end
+
+(* --- compaction --------------------------------------------------------- *)
+
+(* Reclaim every deactivated slot: compact the arena and patch every
+   structure that holds constraint ids — occurrence lists, watch lists,
+   assigned reasons, discovery queues.  Ids move but insertion order is
+   preserved, so newest-first scans in Analyze keep meaning
+   latest-learned-first.
+
+   Caller contract: no deactivated constraint may be the reason of an
+   assigned variable (DB reduction keeps locked constraints; session
+   retraction runs on an empty trail).  Queues may be non-empty — a
+   just-learned constraint announces its asserting state through them —
+   so their entries are remapped, dropping the dead.  Returns the
+   relocation map for callers tracking ids of their own. *)
+let compact_db s =
+  let reloc = Db.compact s.db in
+  let nreloc = Array.length reloc in
+  let patch_vec q =
+    let i = ref 0 in
+    while !i < Vec.length q do
+      let cid = Vec.get q !i in
+      let nid = if cid >= 0 && cid < nreloc then reloc.(cid) else -1 in
+      if nid >= 0 then begin
+        Vec.set q !i nid;
+        incr i
+      end
+      else Vec.swap_remove q !i
+    done
+  in
+  Array.iter patch_vec s.occ;
+  Array.iter patch_vec s.watch_cl;
+  Array.iter patch_vec s.watch_cu;
+  patch_vec s.conflict_q;
+  patch_vec s.unit_q;
+  patch_vec s.cubesat_q;
+  patch_vec s.parked_q;
+  for v = 0 to s.nvars - 1 do
+    match s.reason.(v) with
+    | Reason rid ->
+        if is_assigned s v then begin
+          let nid = reloc.(rid) in
+          assert (nid >= 0);
+          s.reason.(v) <- Reason nid
+        end
+        else s.reason.(v) <- Decision
+    | Decision | Flipped | Pure -> ()
+  done;
+  reloc
 
 (* Periodic activity update (Section VI): halve and add the variation of
    the tracked occurrence counter since the previous update. *)
@@ -892,9 +915,9 @@ let clear_trail s =
    the maximum antecedent frame).  Requires an empty trail. *)
 let retract_above s frame =
   assert (Vec.length s.trail = 0);
-  for cid = 0 to Vec.length s.constrs - 1 do
-    let c = Vec.get s.constrs cid in
-    if c.active && c.frame > frame then retract_constraint s cid
+  for cid = 0 to Db.size s.db - 1 do
+    if Db.active s.db cid && Db.frame s.db cid > frame then
+      retract_constraint s cid
   done
 
 (* Learned cubes certify the matrix *as it stood* when they were
@@ -908,9 +931,8 @@ let retract_above s frame =
    steps, Lemma 3, only ever compared old pairs). *)
 let invalidate_cubes s =
   assert (Vec.length s.trail = 0);
-  for cid = 0 to Vec.length s.constrs - 1 do
-    let c = Vec.get s.constrs cid in
-    if c.active && c.kind = Cube_c then retract_constraint s cid
+  for cid = 0 to Db.size s.db - 1 do
+    if Db.active s.db cid && Db.is_cube s.db cid then retract_constraint s cid
   done
 
 (* Refill the discovery queues from scratch: constraints added during
@@ -919,19 +941,16 @@ let invalidate_cubes s =
    an empty trail, so a clause is unit/conflicting iff it simply has
    few existential literals. *)
 let requeue_all s =
-  for cid = 0 to Vec.length s.constrs - 1 do
-    let c = Vec.get s.constrs cid in
-    if c.active then
-      if c.w1 >= 0 then classify_and_queue s cid c
-      else
-        match c.kind with
-        | Clause_c -> check_clause_state s cid c
-        | Cube_c -> check_cube_state s cid c
+  for cid = 0 to Db.size s.db - 1 do
+    if Db.active s.db cid then
+      if Db.watched s.db cid then classify_and_queue s cid
+      else if Db.is_cube s.db cid then check_cube_state s cid
+      else check_clause_state s cid
   done
 
 (* Re-seed purity candidates (the mirror of the loop in [create]). *)
 let reseed_pure_queue s =
-  if s.config.pure_literals then
+  if s.config.search.pure_literals then
     for l = 0 to (2 * s.nvars) - 1 do
       if s.pos_unsat.(l) = 0 then Vec.push s.pure_q l
     done
@@ -950,7 +969,8 @@ let grow_array a n fill =
    old-variable pairs is unchanged (the soundness contract above).  All
    prefix-derived tables are recomputed — extension renumbers block ids
    and d/f timestamps — while per-variable search state (assignments,
-   activities, occurrence counters) is preserved for old variables. *)
+   activities, occurrence counters, saved phases) is preserved for old
+   variables. *)
 let extend s prefix =
   assert (Vec.length s.trail = 0 && current_level s = 0);
   let nvars = Prefix.nvars prefix in
@@ -972,6 +992,7 @@ let extend s prefix =
   s.reason <- grow_array s.reason n Decision;
   s.vlevel <- grow_array s.vlevel n (-1);
   s.pos <- grow_array s.pos n (-1);
+  s.saved_phase <- grow_array s.saved_phase n (-1);
   s.seen <- grow_array s.seen n 0;
   s.pos_unsat <- grow_array s.pos_unsat (2 * n) 0;
   s.counter <- grow_array s.counter (2 * n) 0;

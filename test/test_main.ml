@@ -5,6 +5,7 @@ let () =
       ("solver", Test_solver.suite);
       ("solver-internals", Test_solver_internals.suite);
       ("prop", Test_prop.suite);
+      ("db", Test_db.suite);
       ("session", Test_session.suite);
       ("prenex", Test_prenex.suite);
       ("io", Test_io.suite);

@@ -264,11 +264,10 @@ let test_compute_report_stops () =
       Alcotest.(check int) "lower bound proves phi_0..phi_3" 4
         r.Qbf_models.Diameter.lower_bound;
       let config =
-        {
-          Qbf_solver.Solver_types.default_config with
-          Qbf_solver.Solver_types.should_stop = Some (fun () -> true);
-          Qbf_solver.Solver_types.stop_interval = 1;
-        }
+        Qbf_solver.Solver_types.(
+          default_config
+          |> with_should_stop (Some (fun () -> true))
+          |> with_stop_interval 1)
       in
       let r = Qbf_models.Diameter.compute_report ~mode ~config m in
       Alcotest.(check bool) "solver stopped" true

@@ -173,13 +173,9 @@ let observed_solve ?(restarts = false) f =
   let trace = Trace.create ~capacity:(1 lsl 16) () in
   let obs = Obs.make ~metrics ~trace () in
   let config =
-    {
-      ST.default_config with
-      ST.learning = true;
-      ST.restarts;
-      ST.db_reduction = restarts;
-      ST.obs = Some obs;
-    }
+    ST.(
+      default_config |> with_learning true |> with_restarts restarts
+      |> with_db_reduction restarts |> with_obs (Some obs))
   in
   let r = Qbf_solver.Engine.solve ~config f in
   (r.ST.stats, Metrics.snapshot metrics, Trace.to_list trace)
@@ -252,7 +248,7 @@ let test_disabled_obs_is_inert () =
       let stats, _, _ = observed_solve f in
       let r2 =
         Qbf_solver.Engine.solve
-          ~config:{ ST.default_config with ST.learning = true }
+          ~config:ST.(default_config |> with_learning true)
           f
       in
       Alcotest.(check bool) "outcome agrees (no-learn vs observed)" true

@@ -38,28 +38,31 @@ let random_clauses rng prefix ~nvars ~n =
    in [parked_q] for post-backtrack repair, which the first clause below
    checks. *)
 let check_watch_invariants label s =
+  let module Db = Qbf_solver.Constraint_db in
+  let db = s.S.db in
   let check name cond =
     if not cond then Alcotest.failf "%s: %s" label name
   in
-  for cid = 0 to Vec.length s.S.constrs - 1 do
-    let c = S.constr s cid in
-    if c.ST.active && c.ST.w1 >= 0 then begin
+  for cid = 0 to Db.size db - 1 do
+    if Db.active db cid && Db.watched db cid then begin
+      let kind = Db.kind db cid in
+      let w1 = Db.w1 db cid and w2 = Db.w2 db cid in
       let name fmt = Printf.sprintf fmt cid in
-      let in_lits m = Array.exists (fun l -> l = m) c.ST.lits in
-      check (name "constraint %d: w1 in lits") (in_lits c.ST.w1);
-      check (name "constraint %d: w2 in lits") (in_lits c.ST.w2);
+      let in_lits m = Db.exists_lit db cid (fun l -> l = m) in
+      check (name "constraint %d: w1 in lits") (in_lits w1);
+      check (name "constraint %d: w2 in lits") (in_lits w2);
       let watched m =
-        Vec.exists (fun x -> x = cid) (S.watch_list s c.ST.kind m)
+        Vec.exists (fun x -> x = cid) (S.watch_list s kind m)
       in
-      check (name "constraint %d: w1 registered") (watched c.ST.w1);
-      check (name "constraint %d: w2 registered") (watched c.ST.w2);
-      if c.ST.parked then
+      check (name "constraint %d: w1 registered") (watched w1);
+      check (name "constraint %d: w2 registered") (watched w2);
+      if Db.parked db cid then
         check
           (name "constraint %d: parked constraint registered in parked_q")
           (Vec.exists (fun x -> x = cid) s.S.parked_q)
-      else if c.ST.w1 <> c.ST.w2 then begin
+      else if w1 <> w2 then begin
         let primary m =
-          s.S.is_exist.(S.var m) = (c.ST.kind = ST.Clause_c)
+          s.S.is_exist.(S.var m) = (kind = ST.Clause_c)
         in
         let compatible a b =
           (primary a && primary b)
@@ -68,12 +71,12 @@ let check_watch_invariants label s =
         in
         check
           (name "constraint %d: non-parked watches compatible")
-          (compatible c.ST.w1 c.ST.w2);
-        let park = match c.ST.kind with ST.Clause_c -> 1 | ST.Cube_c -> 0 in
+          (compatible w1 w2);
+        let park = match kind with ST.Clause_c -> 1 | ST.Cube_c -> 0 in
         let inert =
-          (S.eligible s c.ST.kind c.ST.w1 && S.eligible s c.ST.kind c.ST.w2)
-          || S.lit_value s c.ST.w1 = park
-          || S.lit_value s c.ST.w2 = park
+          (S.eligible s kind w1 && S.eligible s kind w2)
+          || S.lit_value s w1 = park
+          || S.lit_value s w2 = park
         in
         check (name "constraint %d: non-parked watches inert") inert
       end
@@ -166,7 +169,9 @@ let test_fixpoint_completeness () =
               ~len:3 ~min_exists:1 ()
         in
         let config =
-          { ST.default_config with ST.propagation; debug_checks = true }
+          ST.(
+            default_config |> with_propagation propagation
+            |> with_debug_checks true)
         in
         ("fixpoint-complete " ^ string_of_int seed => Eval.eval f)
           (Qbf_solver.Engine.solve ~config f).ST.outcome
@@ -185,8 +190,9 @@ let test_engines_agree_on_families () =
       List.iter
         (fun (pname, propagation) ->
           let config =
-            { ST.default_config with ST.heuristic = ST.Partial_order;
-              propagation }
+            ST.(
+              default_config |> with_heuristic Partial_order
+              |> with_propagation propagation)
           in
           let r =
             Qbf_models.Diameter.compute_report ~config ~mode:`Incremental

@@ -153,16 +153,13 @@ let test_interrupt_mid_search () =
   let interrupt = Limits.Interrupt.create () in
   let events = ref 0 in
   let config =
-    {
-      ST.default_config with
-      ST.learning = false;
-      ST.pure_literals = false;
-      ST.on_event =
-        Some
-          (fun _ ->
-            incr events;
-            if !events = 500 then Limits.Interrupt.trip interrupt);
-    }
+    ST.(
+      default_config |> with_learning false |> with_pure_literals false
+      |> with_on_event
+           (Some
+              (fun _ ->
+                incr events;
+                if !events = 500 then Limits.Interrupt.trip interrupt)))
   in
   let r = Run.solve ~interrupt ~config (hard_formula ()) in
   Alcotest.check Util.outcome "unknown" ST.Unknown r.Run.outcome;
@@ -207,7 +204,7 @@ let test_portfolio_fallback () =
       {
         Run.label = "starved";
         budget_s = None;
-        config = { ST.default_config with ST.max_nodes = Some 1 };
+        config = ST.(default_config |> with_max_nodes (Some 1));
       };
       { Run.label = "full"; budget_s = None; config = ST.default_config };
     ]
@@ -259,7 +256,7 @@ let test_portfolio_cancelled_mid_attempt () =
       {
         Run.label = "interrupted-rung";
         budget_s = None;
-        config = { ST.default_config with ST.should_stop = Some tripping_poll };
+        config = ST.(default_config |> with_should_stop (Some tripping_poll));
       };
       { Run.label = "never-runs"; budget_s = None; config = ST.default_config };
     ]
@@ -288,8 +285,8 @@ let test_escalating_ladder () =
         (b.Run.budget_s = Some 1.0);
       Alcotest.(check bool) "last unbounded" true (c.Run.budget_s = None);
       Alcotest.(check bool) "heuristics alternate" true
-        (a.Run.config.ST.heuristic = ST.Partial_order
-        && b.Run.config.ST.heuristic = ST.Total_order)
+        (a.Run.config.ST.search.ST.heuristic = ST.Partial_order
+        && b.Run.config.ST.search.ST.heuristic = ST.Total_order)
   | _ -> Alcotest.fail "expected three rungs"
 
 (* ------------------------------------------------------------------ *)

@@ -112,8 +112,9 @@ let test_budget () =
   let rng = Qbf_gen.Rng.create 42 in
   let f = Qbf_gen.Randqbf.prenex rng ~nvars:30 ~levels:3 ~nclauses:120 ~len:3 () in
   let config =
-    { ST.default_config with ST.max_nodes = Some 1; ST.learning = false;
-      ST.pure_literals = false }
+    ST.(
+      default_config |> with_max_nodes (Some 1) |> with_learning false
+      |> with_pure_literals false)
   in
   match solve ~config f with
   | ST.Unknown | ST.True | ST.False -> ()

@@ -33,11 +33,9 @@ let test_event_stream () =
      search; leaves appear between them; the trace is well-nested. *)
   let events = ref [] in
   let config =
-    {
-      ST.default_config with
-      ST.learning = false;
-      ST.on_event = Some (fun e -> events := e :: !events);
-    }
+    ST.(
+      default_config |> with_learning false
+      |> with_on_event (Some (fun e -> events := e :: !events)))
   in
   let f = Util.paper_formula_1 () in
   let r = Qbf_solver.Engine.solve ~config f in
@@ -88,7 +86,7 @@ let test_learning_equivalence_on_suite () =
     in
     let solve learning =
       (Qbf_solver.Engine.solve
-         ~config:{ ST.default_config with ST.learning }
+         ~config:ST.(default_config |> with_learning learning)
          f)
         .ST.outcome
     in
@@ -105,7 +103,7 @@ let test_aux_hint_agrees () =
     let base = (Qbf_solver.Engine.solve f).ST.outcome in
     let hinted =
       (Qbf_solver.Engine.solve
-         ~config:{ ST.default_config with ST.aux_hint = Some (fun _ -> true) }
+         ~config:ST.(default_config |> with_aux_hint (Some (fun _ -> true)))
          f)
         .ST.outcome
     in
@@ -143,9 +141,14 @@ let test_learned_clauses_sound () =
     Alcotest.check Util.outcome "result"
       (Util.solver_outcome_of_bool value)
       r.ST.outcome;
-    for cid = 0 to Qbf_solver.Vec.length s.Qbf_solver.State.constrs - 1 do
-      let c = Qbf_solver.State.constr s cid in
-      if c.ST.learned && c.ST.kind = ST.Clause_c && !checked < 300 then begin
+    let db = s.Qbf_solver.State.db in
+    let module Db = Qbf_solver.Constraint_db in
+    for cid = 0 to Db.size db - 1 do
+      if
+        Db.learned db cid
+        && Db.kind db cid = ST.Clause_c
+        && !checked < 300
+      then begin
         incr checked;
         let clause =
           Clause.of_list
@@ -153,7 +156,7 @@ let test_learned_clauses_sound () =
                (Array.map (fun l ->
                     let v = (l lsr 1) + 1 in
                     if l land 1 = 1 then -v else v)
-                  c.ST.lits)))
+                  (Db.copy_lits db cid))))
         in
         let g =
           Formula.make (Formula.prefix f) (clause :: Formula.matrix f)
@@ -170,12 +173,9 @@ let test_restarts_and_reduction () =
      random and structured instances. *)
   let rng = Qbf_gen.Rng.create 404 in
   let config =
-    {
-      ST.default_config with
-      ST.restarts = true;
-      ST.restart_base = 2;
-      ST.db_reduction = true;
-    }
+    ST.(
+      default_config |> with_restarts true |> with_restart_base 2
+      |> with_db_reduction true)
   in
   for _ = 1 to 25 do
     let f = Qbf_gen.Randqbf.tree rng ~nvars:12 ~nclauses:24 ~len:3 () in
@@ -194,12 +194,9 @@ let test_max_decisions_budget () =
   let r =
     Qbf_solver.Engine.solve
       ~config:
-        {
-          ST.default_config with
-          ST.max_decisions = Some 5;
-          ST.learning = false;
-          ST.pure_literals = false;
-        }
+        ST.(
+          default_config |> with_max_decisions (Some 5)
+          |> with_learning false |> with_pure_literals false)
       f
   in
   Alcotest.(check bool) "stopped early or finished" true
@@ -211,7 +208,7 @@ let test_should_stop () =
   let f = Qbf_gen.Randqbf.prenex rng ~nvars:40 ~levels:4 ~nclauses:160 ~len:3 () in
   let r =
     Qbf_solver.Engine.solve
-      ~config:{ ST.default_config with ST.should_stop = Some (fun () -> true) }
+      ~config:ST.(default_config |> with_should_stop (Some (fun () -> true)))
       f
   in
   (* stops at the first budget check, possibly after a trivial leaf *)

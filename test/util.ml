@@ -72,7 +72,9 @@ let configs () =
                   (match heuristic with
                   | Total_order -> "TO"
                   | Partial_order -> "PO"),
-                { default_config with learning; pure_literals; heuristic } ))
+                default_config |> with_learning learning
+                |> with_pure_literals pure_literals
+                |> with_heuristic heuristic ))
             [ Total_order; Partial_order ])
         [ true; false ])
     [ true; false ]

@@ -14,8 +14,10 @@ let () =
     let t1 = Unix.gettimeofday () in
     let qbf_to =
       Diameter.compute ~style:Diameter.Prenex
-        ~config:{ Qbf_solver.Solver_types.default_config with
-                  Qbf_solver.Solver_types.heuristic = Qbf_solver.Solver_types.Total_order } m in
+        ~config:
+          Qbf_solver.Solver_types.(
+            default_config |> with_heuristic Total_order)
+        m in
     let t2 = Unix.gettimeofday () in
     Printf.printf "%-12s bits=%2d reach=%3d bfs_d=%3d qbf_po=%s (%.2fs) qbf_to=%s (%.2fs)\n%!"
       (Model.name m) (Model.bits m) (Reach.num_reachable m) bfs

@@ -5,7 +5,7 @@ let () =
   for n = 0 to 7 do
     let lay = Diameter.build m ~n in let f = lay.Diameter.formula in
     let t0 = Unix.gettimeofday () in
-    let config = Diameter.config_for ~config:{ ST.default_config with ST.max_nodes = Some 2_000_000 } lay in
+    let config = Diameter.config_for ~config:ST.(default_config |> with_max_nodes (Some 2_000_000)) lay in
     let r = Qbf_solver.Engine.solve ~config f in
     Printf.printf "n=%d vars=%d cls=%d -> %s %.2fs %s\n%!" n
       (Qbf_core.Formula.nvars f) (Qbf_core.Formula.num_clauses f)

@@ -3,9 +3,9 @@ open Qbf_models
 module ST = Qbf_solver.Solver_types
 let time_diameter style m max_n budget =
   let t0 = Unix.gettimeofday () in
-  let config = { ST.default_config with
-    ST.heuristic = (match style with Diameter.Nonprenex -> ST.Partial_order | _ -> ST.Total_order);
-    ST.max_nodes = Some budget } in
+  let config = ST.(default_config
+    |> with_heuristic (match style with Diameter.Nonprenex -> Partial_order | _ -> Total_order)
+    |> with_max_nodes (Some budget)) in
   let d = Diameter.compute ~config ~style ~max_n m in
   (d, Unix.gettimeofday () -. t0)
 let () =

@@ -3,7 +3,7 @@
 
      fuzz [--seeds N] [--seed-base S] [--max-seconds T] [-v]
 
-   Per seed, five phases:
+   Per seed, seven phases:
 
    1. differential: a random QBF (tree or prenex) solved under every
       interesting engine configuration — the 8-way learning x pures x
@@ -31,7 +31,15 @@
       with each other and the oracle, and with learning off the two
       engines run the identical search (learned constraints are the
       only state they track differently), so decision counts must be
-      equal too.
+      equal too;
+
+   6. loader crash-robustness: hostile byte mutations through both
+      loaders and the serving layer's frame decoder — structured
+      errors only, never an escaped exception;
+
+   7. learned-DB reduction: aggressive reduce-and-compact cycles
+      (tiny interval, near-zero keep fraction) vs. the reduction-off
+      engine, both checked against the oracle.
 
    Stops early when --max-seconds is exceeded (the smoke target in
    test/dune runs a 2-second slice on every `dune runtest`).  Exits
@@ -53,8 +61,10 @@ let configs =
                     (match heuristic with
                     | ST.Total_order -> "TO"
                     | ST.Partial_order -> "PO"),
-                  { ST.default_config with learning; pure_literals; heuristic }
-                ))
+                  ST.(
+                    default_config |> with_learning learning
+                    |> with_pure_literals pure_literals
+                    |> with_heuristic heuristic) ))
               [ ST.Total_order; ST.Partial_order ])
           [ true; false ])
       [ true; false ]
@@ -67,19 +77,14 @@ let configs =
         in
         [
           ( "aux-hint " ^ hn,
-            {
-              ST.default_config with
-              ST.heuristic;
-              ST.aux_hint = Some (fun _ -> true);
-            } );
+            ST.(
+              default_config |> with_heuristic heuristic
+              |> with_aux_hint (Some (fun _ -> true))) );
           ( "restarts " ^ hn,
-            {
-              ST.default_config with
-              ST.heuristic;
-              ST.restarts = true;
-              ST.restart_base = 2;
-              ST.db_reduction = true;
-            } );
+            ST.(
+              default_config |> with_heuristic heuristic
+              |> with_restarts true |> with_restart_base 2
+              |> with_db_reduction true) );
         ])
       [ ST.Total_order; ST.Partial_order ]
 
@@ -342,13 +347,11 @@ let () =
                     invariant (and a sanity check on the counters) *)
                  Qbf_solver.Engine.solve
                    ~config:
-                     {
-                       ST.default_config with
-                       heuristic;
-                       learning;
-                       propagation;
-                       debug_checks = true;
-                     }
+                     ST.(
+                       default_config |> with_heuristic heuristic
+                       |> with_learning learning
+                       |> with_propagation propagation
+                       |> with_debug_checks true)
                    f
                in
                match (run ST.Watched, run ST.Counters) with
@@ -377,6 +380,44 @@ let () =
                    "ENGINE DECISION DRIFT [%s learn=false] watched=%d counters=%d"
                    hname w.ST.stats.ST.decisions c.ST.stats.ST.decisions)
              [ true; false ])
+         [ ("TO", ST.Total_order); ("PO", ST.Partial_order) ];
+       (* 7. learned-DB reduction differential: aggressive reduction (a
+          tiny first interval and a near-zero keep fraction, so several
+          cycles fire even on small instances) must leave every outcome
+          identical to the reduction-off engine and the oracle —
+          reduction only ever drops redundant learned constraints. *)
+       List.iter
+         (fun (hname, heuristic) ->
+           let run reduce =
+             Qbf_solver.Engine.solve
+               ~config:
+                 ST.(
+                   default_config |> with_heuristic heuristic
+                   |> with_restarts true |> with_restart_base 2
+                   |> with_db_reduction reduce
+                   |> with_db_reduce_interval 4
+                   |> with_db_keep_fraction 0.25
+                   |> with_debug_checks true)
+               f
+           in
+           match (run true, run false) with
+           | exception e ->
+               complain seed "DBRED exception [%s]: %s" hname
+                 (Printexc.to_string e)
+           | on, off ->
+               let name = function
+                 | ST.True -> "true"
+                 | ST.False -> "false"
+                 | ST.Unknown -> "unknown"
+               in
+               if on.ST.outcome <> off.ST.outcome then
+                 complain seed "DBRED MISMATCH [%s] on=%s off=%s" hname
+                   (name on.ST.outcome) (name off.ST.outcome)
+               else if
+                 on.ST.outcome <> if expected then ST.True else ST.False
+               then
+                 complain seed "DBRED ORACLE MISMATCH [%s] got=%s expected=%b"
+                   hname (name on.ST.outcome) expected)
          [ ("TO", ST.Total_order); ("PO", ST.Partial_order) ];
        (* 6. loader crash-robustness: hostile bytes — bit flips,
           CRLF/CR mangling, binary splices, mid-token truncation,

@@ -8,7 +8,7 @@ let () =
     let sum_nodes = ref 0 and max_nodes = ref 0 in
     for _ = 1 to count do
       let f = make () in
-      let config = { ST.default_config with ST.max_nodes = Some 500000 } in
+      let config = ST.(default_config |> with_max_nodes (Some 500000)) in
       let r = Qbf_solver.Engine.solve ~config f in
       let n = ST.nodes r.ST.stats in
       sum_nodes := !sum_nodes + n;
