@@ -86,10 +86,8 @@ let run model_name style propagation max_n timeout bfs verbose profile_on
       let now = Unix.gettimeofday () in
       Printf.printf "phi_%-3d %s  (%.3fs, %d vars, %d decisions%s)\n%!"
         b.Qbf_models.Diameter.bound
-        (match b.Qbf_models.Diameter.outcome with
-        | ST.True -> "true "
-        | ST.False -> "false"
-        | ST.Unknown -> "?    ")
+        (Printf.sprintf "%-5s"
+           (Qbf_solver.Outcome.to_string b.Qbf_models.Diameter.outcome))
         (now -. !last) b.Qbf_models.Diameter.nvars
         b.Qbf_models.Diameter.stats.ST.decisions
         (if b.Qbf_models.Diameter.carried_clauses > 0 then

@@ -50,15 +50,9 @@ let strategy_of_name name =
         (String.concat ", " (List.map fst Qbf_prenex.Prenexing.all));
       exit 2
 
-let outcome_char = function
-  | ST.True -> "1"
-  | ST.False -> "0"
-  | ST.Unknown -> "?"
-
-let outcome_word = function
-  | ST.True -> "true"
-  | ST.False -> "false"
-  | ST.Unknown -> "unknown"
+(* All outcome renderings go through the solver's one Outcome module so
+   the result line, the JSON status and qubed's wire format agree. *)
+module Outcome = Qbf_solver.Outcome
 
 (* The complete stats record.  Every key is always present, so the JSON
    shape is identical on conclusive, timeout, interrupt and memory-cap
@@ -80,15 +74,26 @@ let json_of_stats (s : ST.stats) =
       ("deleted_constraints", Json.Int s.ST.deleted_constraints);
     ]
 
+let json_of_witness = function
+  | ST.No_witness -> Json.Null
+  | ST.Proof_trace { path; steps; format_version } ->
+      Json.Obj
+        [
+          ("path", Json.String path);
+          ("steps", Json.Int steps);
+          ("format_version", Json.Int format_version);
+        ]
+
 let json_of_report (r : Run.report) =
   Json.Obj
     [
-      ("outcome", Json.String (outcome_word r.Run.outcome));
+      ("outcome", Json.String (Outcome.to_json_string r.Run.outcome));
       ("time", Json.Float r.Run.time);
       ( "stopped",
         match r.Run.stopped with
         | None -> Json.Null
         | Some s -> Json.String (Run.string_of_stop_reason s) );
+      ("witness", json_of_witness r.Run.witness);
       ("stats", json_of_stats r.Run.stats);
       ( "metrics",
         match r.Run.metrics with
@@ -111,7 +116,13 @@ let print_report_comments (r : Run.report) =
 let run file heuristic propagation no_learning no_pure restarts
     db_reduce_interval db_keep no_phase_saving prenex_to
     miniscope preprocess max_nodes timeout mem_limit use_portfolio json_status
-    stats trace_file trace_every profile_on telemetry_file =
+    stats trace_file trace_every profile_on telemetry_file proof_file =
+  if proof_file <> None && use_portfolio then begin
+    Printf.eprintf
+      "qube: --proof records a single run's derivation and cannot span \
+       portfolio attempts; drop one of the two flags\n";
+    exit 2
+  end;
   (* Observability wiring: the trace (if any) is one JSONL stream shared
      across the whole invocation, while metrics and profile are fresh
      per attempt in portfolio mode so each rung reports its own. *)
@@ -237,6 +248,7 @@ let run file heuristic propagation no_learning no_pure restarts
               Run.outcome = ST.Unknown;
               time = p.Run.total_time;
               stats = ST.empty_stats ();
+              witness = ST.No_witness;
               stopped = Some (Run.Interrupted Limits.Interrupt.Manual);
               metrics = None;
               profile = None;
@@ -244,17 +256,30 @@ let run file heuristic propagation no_learning no_pure restarts
             [] )
       | (_, last) :: _ -> (last, p.Run.attempts)
     end
-    else (Run.solve ~limits ~interrupt ~config f, [])
+    else
+      ( (try Run.solve ~limits ~interrupt ~config ?proof_file f
+         with Sys_error msg ->
+           Printf.eprintf "qube: cannot write proof: %s\n" msg;
+           exit 2),
+        [] )
   in
   restore ();
   (* drain any buffered trace events and close the stream *)
   Option.iter Trace.flush trace;
   Option.iter close_out trace_oc;
-  Printf.printf "s cnf %s %s\n" (outcome_char report.Run.outcome) file;
+  Printf.printf "s cnf %c %s\n" (Outcome.to_char report.Run.outcome) file;
+  (match report.Run.witness with
+  | ST.Proof_trace { path; steps; _ } ->
+      Printf.printf "c proof %s steps %d\n" path steps
+  | ST.No_witness ->
+      if proof_file <> None then
+        (* conclusive-but-uncertified (chronological conclusion) or
+           inconclusive: tell the caller not to expect a checkable file *)
+        Printf.printf "c proof incomplete\n");
   List.iteri
     (fun i (label, (r : Run.report)) ->
       Printf.printf "c attempt %d %s outcome=%s time=%.3fs nodes=%d%s\n"
-        (i + 1) label (outcome_word r.Run.outcome) r.Run.time
+        (i + 1) label (Outcome.to_string r.Run.outcome) r.Run.time
         (ST.nodes r.Run.stats)
         (match r.Run.stopped with
         | Some s -> " stopped-by=" ^ Run.string_of_stop_reason s
@@ -320,7 +345,7 @@ let run file heuristic propagation no_learning no_pure restarts
                 ("schema", Json.String "qube-telemetry");
                 ("v", Json.Int 1);
                 ("file", Json.String file);
-                ("outcome", Json.String (outcome_word report.Run.outcome));
+                ("outcome", Json.String (Outcome.to_json_string report.Run.outcome));
                 ("report", json_of_report report);
               ])
         ^ "\n");
@@ -351,7 +376,7 @@ let run file heuristic propagation no_learning no_pure restarts
       Json.Obj
         [
           ("file", Json.String file);
-          ("outcome", Json.String (outcome_word report.Run.outcome));
+          ("outcome", Json.String (Outcome.to_json_string report.Run.outcome));
           ("time", Json.Float report.Run.time);
           ("report", json_of_report report);
           ( "attempts",
@@ -498,6 +523,14 @@ let telemetry_arg =
               JSON and to FILE.prom as Prometheus text (implies metric \
               and profile collection).")
 
+let proof_arg =
+  Arg.(value & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:"Record a Q-resolution trace of the run to FILE, checkable \
+              independently with $(b,qcheck_proof).  Forces pure-literal \
+              fixing off for the run; incompatible with \
+              $(b,--portfolio).")
+
 let cmd =
   let doc = "search-based QBF solver with non-prenex (quantifier tree) support" in
   Cmd.v
@@ -514,6 +547,6 @@ let cmd =
       $ no_phase_saving_arg $ prenex_arg $ miniscope_arg $ preprocess_arg
       $ max_nodes_arg $ timeout_arg $ mem_limit_arg $ portfolio_arg
       $ json_status_arg $ stats_arg $ trace_arg $ trace_every_arg
-      $ profile_arg $ telemetry_arg)
+      $ profile_arg $ telemetry_arg $ proof_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -112,7 +112,7 @@ let parse_batch lines =
 
 let run batch workers race_arg retries timeout mem_limit max_nodes grace hang
     faults no_cache seed trace_file trace_every summary telemetry_file
-    telemetry_interval no_stats =
+    telemetry_interval no_stats proof_dir =
   let race =
     String.split_on_char ',' race_arg
     |> List.map String.trim
@@ -129,6 +129,14 @@ let run batch workers race_arg retries timeout mem_limit max_nodes grace hang
     batch_error "--inject-faults wants a probability in [0,1]";
   let jobs = parse_batch (read_batch batch) in
   if jobs = [] then batch_error "empty batch";
+  (match proof_dir with
+  | Some dir -> (
+      match (Unix.stat dir).Unix.st_kind with
+      | Unix.S_DIR -> ()
+      | _ -> batch_error "--proof-dir %s is not a directory" dir
+      | exception Unix.Unix_error _ ->
+          batch_error "--proof-dir %s does not exist" dir)
+  | None -> ());
   (* Durability: the trace sink and stdout are flushed and closed on
      every exit path — normal, interrupt (the flag turns SIGINT/SIGTERM
      into an orderly drain), and uncaught exception (at_exit still
@@ -174,6 +182,7 @@ let run batch workers race_arg retries timeout mem_limit max_nodes grace hang
       fault_p = faults;
       cache = not no_cache;
       stats = not no_stats;
+      proof_dir;
       seed;
     }
   in
@@ -333,6 +342,16 @@ let telemetry_interval_arg =
               disables the periodic rewrite; the final write still \
               happens).")
 
+let proof_dir_arg =
+  Arg.(value & opt (some string) None
+    & info [ "proof-dir" ] ~docv:"DIR"
+        ~doc:"Ask every worker for a Q-resolution trace under DIR (one \
+              file per job attempt) and spot-check each conclusive \
+              answer's certificate with the independent checker before \
+              accepting it; an answer whose certificate fails is \
+              treated like a garbage frame and retried.  Verified \
+              paths appear as $(b,proof) in the job reports.")
+
 let no_stats_arg =
   Arg.(value & flag
     & info [ "no-worker-stats" ]
@@ -348,6 +367,7 @@ let cmd =
       const run $ batch_arg $ workers_arg $ race_arg $ retries_arg
       $ timeout_arg $ mem_limit_arg $ max_nodes_arg $ grace_arg $ hang_arg
       $ faults_arg $ no_cache_arg $ seed_arg $ trace_arg $ trace_every_arg
-      $ summary_arg $ telemetry_arg $ telemetry_interval_arg $ no_stats_arg)
+      $ summary_arg $ telemetry_arg $ telemetry_interval_arg $ no_stats_arg
+      $ proof_dir_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -80,10 +80,7 @@ let run ?(timeout_s = 60.) ?(max_n = 64) ~style model =
 
 let schema_version = 1
 
-let string_of_outcome = function
-  | ST.True -> "true"
-  | ST.False -> "false"
-  | ST.Unknown -> "unknown"
+let string_of_outcome = Qbf_solver.Outcome.to_json_string
 
 let json_of_bound (b : D.bound_stat) time_s =
   Json.Obj

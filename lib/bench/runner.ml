@@ -115,10 +115,7 @@ let run_instance ?interrupt ?observe b inst =
 
 let schema_version = 1
 
-let string_of_outcome = function
-  | ST.True -> "true"
-  | ST.False -> "false"
-  | ST.Unknown -> "unknown"
+let string_of_outcome = Qbf_solver.Outcome.to_json_string
 
 let json_of_stats (s : ST.stats) =
   Json.Obj

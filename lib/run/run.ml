@@ -76,45 +76,27 @@ let load_exn ?format path =
 (* ------------------------------------------------------------------ *)
 (* Budgeted, interruptible solving                                     *)
 
-type stop_reason =
-  | Timeout (* the wall-clock deadline expired *)
-  | Interrupted of Limits.Interrupt.reason (* signal / memory / manual *)
-  | Node_budget (* the leaf budget was hit *)
-  | Budget (* some other configured budget (decisions, custom hook) *)
+(* The report shape and the stop-reason derivation live in {!Report};
+   the record equations keep every existing [Run.report] consumer
+   compiling against the shared type. *)
 
-let string_of_stop_reason = function
-  | Timeout -> "timeout"
-  | Interrupted (Limits.Interrupt.Signal n) ->
-      if n = Sys.sigint then "sigint"
-      else if n = Sys.sigterm then "sigterm"
-      else Printf.sprintf "signal-%d" n
-  | Interrupted Limits.Interrupt.Memory -> "memory"
-  | Interrupted Limits.Interrupt.Manual -> "interrupted"
-  | Node_budget -> "node-budget"
-  | Budget -> "budget"
+type stop_reason = Report.stop_reason =
+  | Timeout
+  | Interrupted of Limits.Interrupt.reason
+  | Node_budget
+  | Budget
 
-type report = {
+let string_of_stop_reason = Report.string_of_stop_reason
+
+type report = Report.t = {
   outcome : ST.outcome;
-  time : float; (* seconds, by the limits' clock *)
-  stats : ST.stats; (* complete even when stopped early *)
-  stopped : stop_reason option; (* None iff the outcome is conclusive *)
+  time : float;
+  stats : ST.stats;
+  witness : ST.witness;
+  stopped : stop_reason option;
   metrics : Qbf_obs.Metrics.snapshot option;
-      (* snapshot of the run's metrics registry, when the config carried
-         a collector with metrics enabled *)
-  profile : Qbf_obs.Profile.snapshot option; (* ditto, phase profiler *)
+  profile : Qbf_obs.Profile.snapshot option;
 }
-
-(* Snapshots of an attached collector, taken when the solve returns
-   (also on interrupt/timeout paths: Engine always returns a result). *)
-let snapshots_of_obs = function
-  | Some o ->
-      ( (if o.Qbf_obs.Obs.metrics_on then
-           Some (Qbf_obs.Metrics.snapshot o.Qbf_obs.Obs.metrics)
-         else None),
-        if o.Qbf_obs.Obs.profile_on then
-          Some (Qbf_obs.Profile.snapshot o.Qbf_obs.Obs.profile)
-        else None )
-  | None -> (None, None)
 
 let min_opt a b =
   match (a, b) with
@@ -152,7 +134,7 @@ let effective_config (limits : Limits.t) interrupt deadline config =
     config
 
 let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
-    formula =
+    ?proof_file formula =
   let interrupt =
     match interrupt with Some i -> i | None -> Limits.Interrupt.create ()
   in
@@ -167,34 +149,22 @@ let solve ?(limits = Limits.default) ?interrupt ?(config = ST.default_config)
       (fun mb -> Limits.Mem_guard.install ~limit_mb:mb interrupt)
       limits.Limits.mem_mb
   in
+  (* The writer lives exactly as long as the solve; Engine.solve forces
+     pure-literal fixing off while it is attached. *)
+  let proof =
+    Option.map (fun path -> Qbf_solver.Proof.create ~path) proof_file
+  in
   let t0 = limits.Limits.clock () in
   let r =
     Fun.protect
-      ~finally:(fun () -> Option.iter Limits.Mem_guard.remove guard)
-      (fun () -> Qbf_solver.Engine.solve ~config formula)
+      ~finally:(fun () ->
+        Option.iter Qbf_solver.Proof.close proof;
+        Option.iter Limits.Mem_guard.remove guard)
+      (fun () -> Qbf_solver.Engine.solve ~config ?proof formula)
   in
   let time = limits.Limits.clock () -. t0 in
-  let stopped =
-    match r.ST.outcome with
-    | ST.True | ST.False -> None
-    | ST.Unknown ->
-        if Limits.Interrupt.triggered interrupt then
-          Some
-            (Interrupted
-               (Option.value ~default:Limits.Interrupt.Manual
-                  (Limits.Interrupt.reason interrupt)))
-        else if Limits.Deadline.expired deadline then Some Timeout
-        else
-          let nodes = ST.nodes r.ST.stats in
-          let node_hit =
-            match config.ST.budgets.ST.max_nodes with
-            | Some m -> nodes >= m
-            | None -> false
-          in
-          Some (if node_hit then Node_budget else Budget)
-  in
-  let metrics, profile = snapshots_of_obs config.ST.observe.ST.obs in
-  { outcome = r.ST.outcome; time; stats = r.ST.stats; stopped; metrics; profile }
+  Report.make ~interrupt ~deadline ~config ~time
+    ~nodes:(ST.nodes r.ST.stats) r
 
 (* ------------------------------------------------------------------ *)
 (* Worker-side entry: load + solve in one call                         *)
@@ -208,13 +178,13 @@ let source_label = function Path p -> p | Inline _ -> "<inline>"
    then a budgeted solve.  Nothing escapes as an exception on the input
    side, so a worker never dies on a malformed instance — it reports the
    error over its pipe instead. *)
-let solve_source ?limits ?interrupt ?config src =
+let solve_source ?limits ?interrupt ?config ?proof_file src =
   let loaded =
     match src with
     | Path p -> load p
     | Inline text -> load_string ~file:"<inline>" text
   in
-  Result.map (fun f -> solve ?limits ?interrupt ?config f) loaded
+  Result.map (fun f -> solve ?limits ?interrupt ?config ?proof_file f) loaded
 
 (* ------------------------------------------------------------------ *)
 (* Budgeted incremental sessions                                       *)
@@ -292,34 +262,10 @@ module Session = struct
             t.raw)
     in
     let time = t.limits.Limits.clock () -. t0 in
-    let stopped =
-      match r.ST.outcome with
-      | ST.True | ST.False -> None
-      | ST.Unknown ->
-          if Limits.Interrupt.triggered t.interrupt then
-            Some
-              (Interrupted
-                 (Option.value ~default:Limits.Interrupt.Manual
-                    (Limits.Interrupt.reason t.interrupt)))
-          else if Limits.Deadline.expired deadline then Some Timeout
-          else
-            let nodes = ST.nodes (Qbf_solver.Session.stats t.raw) in
-            let node_hit =
-              match t.config.ST.budgets.ST.max_nodes with
-              | Some m -> nodes >= m
-              | None -> false
-            in
-            Some (if node_hit then Node_budget else Budget)
-    in
-    let metrics, profile = snapshots_of_obs t.config.ST.observe.ST.obs in
-    {
-      outcome = r.ST.outcome;
-      time;
-      stats = r.ST.stats;
-      stopped;
-      metrics;
-      profile;
-    }
+    (* [max_nodes] is compared against the session's cumulative totals,
+       not this call's delta — hence the session-wide node count. *)
+    Report.make ~interrupt:t.interrupt ~deadline ~config:t.config ~time
+      ~nodes:(ST.nodes (Qbf_solver.Session.stats t.raw)) r
 
   let dispose t = Qbf_solver.Session.dispose t.raw
 end

@@ -30,7 +30,11 @@ val load_string :
 val load_exn : ?format:format -> string -> Qbf_core.Formula.t
 (** Exception shim: raises {!Run_error.Error}. *)
 
-type stop_reason =
+(** The report types live in {!Report} and are re-exported here, so
+    [Run.report] and [Report.t] are the same type (field accesses and
+    pattern matches work through either path). *)
+
+type stop_reason = Report.stop_reason =
   | Timeout  (** the wall-clock deadline expired *)
   | Interrupted of Limits.Interrupt.reason
       (** a signal arrived, the memory guard tripped, or code tripped
@@ -40,10 +44,14 @@ type stop_reason =
 
 val string_of_stop_reason : stop_reason -> string
 
-type report = {
+type report = Report.t = {
   outcome : ST.outcome;
   time : float;  (** seconds, measured by the limits' clock *)
   stats : ST.stats;  (** complete even when stopped early *)
+  witness : ST.witness;
+      (** certificate of a conclusive outcome, when [proof_file] (or a
+          session's proof writer) was attached and the run fully
+          derived its conclusion *)
   stopped : stop_reason option;  (** [None] iff the outcome is conclusive *)
   metrics : Qbf_obs.Metrics.snapshot option;
       (** metrics-registry snapshot, when [config.obs] carried a
@@ -56,12 +64,22 @@ val solve :
   ?limits:Limits.t ->
   ?interrupt:Limits.Interrupt.t ->
   ?config:ST.config ->
+  ?proof_file:string ->
   Qbf_core.Formula.t ->
   report
 (** Solve under [limits].  A [should_stop]/[stop_flag] already present
     in [config] is preserved (the deadline is OR-ed in; the caller's
     flag keeps priority).  Passing a shared [interrupt] lets one
-    Ctrl-C end a whole suite of runs. *)
+    Ctrl-C end a whole suite of runs.
+
+    [proof_file] records a Q-resolution trace there (forcing
+    pure-literal fixing off for the run); when the outcome is
+    conclusive and fully derived, [report.witness] points at the
+    written certificate, which [tools/qcheck_proof.exe] (or
+    {!Qbf_check.Checker}, from code) validates independently.  Opening
+    the file may raise [Sys_error] — the one exception this function
+    does not catch, since it concerns the caller's own output path, not
+    the input. *)
 
 type source = Path of string | Inline of string
 (** Where a job's instance text lives: a file on disk, or the QDIMACS /
@@ -74,6 +92,7 @@ val solve_source :
   ?limits:Limits.t ->
   ?interrupt:Limits.Interrupt.t ->
   ?config:ST.config ->
+  ?proof_file:string ->
   source ->
   (report, Run_error.t) result
 (** The worker-side entry of the serving layer: {!load} (format

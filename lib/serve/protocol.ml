@@ -140,11 +140,14 @@ let job ?timeout_s ?mem_mb ?max_nodes ~id source =
 (* A dispatch frame adds the attempt context to the job: which portfolio
    configuration to run, the escalated budget for this attempt, and the
    attempt ordinal (workers echo it back so a stale answer from a
-   cancelled attempt can be recognised and dropped). *)
+   cancelled attempt can be recognised and dropped).  [d_proof], when
+   set, is the path where the worker must record a Q-resolution trace
+   of the attempt. *)
 type dispatch = {
   d_job : job;
   d_config : string;
   d_attempt : int;
+  d_proof : string option;
 }
 
 type answer = {
@@ -155,6 +158,8 @@ type answer = {
   a_stopped : string option;
   a_decisions : int;
   a_nodes : int;
+  a_proof : string option;
+      (* path of a complete certificate backing a conclusive outcome *)
   a_error : string option; (* input error text; outcome is Unknown *)
 }
 
@@ -180,6 +185,7 @@ let json_of_dispatch d =
       ("timeout_s", opt_float d.d_job.timeout_s);
       ("mem_mb", opt_int d.d_job.mem_mb);
       ("max_nodes", opt_int d.d_job.max_nodes);
+      ("proof", opt_string d.d_proof);
     ]
 
 let json_of_answer a =
@@ -188,16 +194,12 @@ let json_of_answer a =
       ("type", Json.String "result");
       ("id", Json.Int a.a_id);
       ("attempt", Json.Int a.a_attempt);
-      ( "outcome",
-        Json.String
-          (match a.a_outcome with
-          | Qbf_solver.Solver_types.True -> "true"
-          | Qbf_solver.Solver_types.False -> "false"
-          | Qbf_solver.Solver_types.Unknown -> "unknown") );
+      ("outcome", Json.String (Qbf_solver.Outcome.to_json_string a.a_outcome));
       ("time", Json.Float a.a_time);
       ("stopped", opt_string a.a_stopped);
       ("decisions", Json.Int a.a_decisions);
       ("nodes", Json.Int a.a_nodes);
+      ("proof", opt_string a.a_proof);
       ("error", opt_string a.a_error);
     ]
 
@@ -284,6 +286,8 @@ let dispatch_of_json j =
                   d_job = { id; source; timeout_s; mem_mb; max_nodes };
                   d_config;
                   d_attempt;
+                  (* absent on frames from pre-certificate supervisors *)
+                  d_proof = member_string "proof" j;
                 }
           | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m))
   | _ -> Error "job frame missing id/config/attempt"
@@ -350,14 +354,7 @@ let worker_msg_of_json j =
       with
       | Some a_id, Some a_attempt, Some o, Some a_time, Some a_decisions,
         Some a_nodes -> (
-          let outcome =
-            match o with
-            | "true" -> Some Qbf_solver.Solver_types.True
-            | "false" -> Some Qbf_solver.Solver_types.False
-            | "unknown" -> Some Qbf_solver.Solver_types.Unknown
-            | _ -> None
-          in
-          match outcome with
+          match Qbf_solver.Outcome.of_string o with
           | None -> Error (Printf.sprintf "unknown outcome %S" o)
           | Some a_outcome ->
               Ok
@@ -370,6 +367,7 @@ let worker_msg_of_json j =
                      a_stopped = member_string "stopped" j;
                      a_decisions;
                      a_nodes;
+                     a_proof = member_string "proof" j;
                      a_error = member_string "error" j;
                    }))
       | _ -> Error "result frame missing fields")

@@ -54,6 +54,12 @@ type policy = {
   fault_p : float; (* per-dispatch injected-fault probability *)
   cache : bool;
   stats : bool; (* workers collect + ship metrics/profile snapshots *)
+  proof_dir : string option;
+      (* when set, every dispatch asks its worker for a Q-resolution
+         trace under this directory, and a conclusive answer's
+         certificate is spot-checked before the job settles: a worker
+         whose certificate fails the independent checker is treated
+         exactly like one that emitted garbage *)
   seed : int; (* worker RNG + backoff jitter seed *)
 }
 
@@ -75,6 +81,7 @@ let default_policy =
     fault_p = 0.0;
     cache = true;
     stats = true;
+    proof_dir = None;
     seed = 0;
   }
 
@@ -107,6 +114,9 @@ type report = {
   r_cached : bool;
   r_decisions : int;
   r_nodes : int;
+  r_proof : string option;
+      (* certificate path of the winning attempt, present only after it
+         passed the supervisor's spot-check *)
   r_attempt_stats : attempt_stats list; (* ascending by attempt *)
 }
 
@@ -130,12 +140,7 @@ let json_of_report r =
     [
       ("id", Json.Int r.r_id);
       ("instance", Json.String r.r_label);
-      ( "outcome",
-        Json.String
-          (match r.r_outcome with
-          | ST.True -> "true"
-          | ST.False -> "false"
-          | ST.Unknown -> "unknown") );
+      ("outcome", Json.String (Qbf_solver.Outcome.to_json_string r.r_outcome));
       ("time", Json.Float r.r_time);
       ("wall", Json.Float r.r_wall);
       ("config", Json.String r.r_config);
@@ -150,6 +155,8 @@ let json_of_report r =
       ("cached", Json.Bool r.r_cached);
       ("decisions", Json.Int r.r_decisions);
       ("nodes", Json.Int r.r_nodes);
+      ( "proof",
+        match r.r_proof with None -> Json.Null | Some p -> Json.String p );
       ( "attempt_stats",
         Json.List (List.map json_of_attempt_stats r.r_attempt_stats) );
     ]
@@ -340,6 +347,7 @@ let base_report j =
     r_cached = false;
     r_decisions = 0;
     r_nodes = 0;
+    r_proof = None;
     r_attempt_stats =
       List.sort (fun a b -> compare a.as_attempt b.as_attempt) j.stats;
   }
@@ -509,7 +517,18 @@ let scaled_nodes j = function
   | Some n ->
       Some (int_of_float (Float.min (float_of_int n *. j.budget_mult) 1e15))
 
+(* One certificate file per (job, attempt): attempts race and retry, so
+   the path must never be shared between concurrent writers. *)
+let proof_path_for t j =
+  match t.policy.proof_dir with
+  | None -> None
+  | Some dir ->
+      Some
+        (Filename.concat dir
+           (Printf.sprintf "job%d-a%d.qrp" j.job.Protocol.id (j.attempts + 1)))
+
 let dispatch_for t j label =
+  let d_proof = proof_path_for t j in
   j.attempts <- j.attempts + 1;
   let job = j.job in
   let p = t.policy in
@@ -532,6 +551,7 @@ let dispatch_for t j label =
       };
     d_config = label;
     d_attempt = j.attempts;
+    d_proof;
   }
 
 (* Hand one queued attempt to [w].  A write failure means the worker
@@ -593,6 +613,43 @@ let schedule t =
 (* ------------------------------------------------------------------ *)
 (* Worker input handling                                               *)
 
+(* Spot-check a conclusive answer's certificate with the independent
+   checker, against a formula the supervisor re-loads itself (worker
+   state is never trusted).  [Ok None] means no certificate was demanded
+   or the worker legitimately produced none (an incomplete trace reports
+   [No_witness], not a fake); [Ok (Some path)] is a verified
+   certificate; [Error] means the file exists but fails to prove the
+   claimed outcome — the answer is as untrustworthy as a garbage
+   frame. *)
+let verify_certificate t j (a : Protocol.answer) =
+  match (t.policy.proof_dir, a.Protocol.a_proof) with
+  | None, _ -> Ok None
+  | Some _, None ->
+      Counters.incr t.counters "unwitnessed_answers";
+      Ok None
+  | Some _, Some path -> (
+      let formula =
+        match j.job.Protocol.source with
+        | Run.Path p -> Run.load p
+        | Run.Inline text -> Run.load_string ~file:"<inline>" text
+      in
+      match formula with
+      | Error _ -> Ok None (* ingest already vetted the source *)
+      | Ok f -> (
+          match Qbf_check.Checker.check_file ~formula:f path with
+          | Ok v
+            when List.mem
+                   (a.Protocol.a_outcome = ST.True)
+                   v.Qbf_check.Checker.conclusions ->
+              Counters.incr t.counters "proofs_checked";
+              Ok (Some path)
+          | Ok _ -> Error "certificate concludes the wrong outcome"
+          | Error fl ->
+              Error
+                (Printf.sprintf "certificate line %d: %s"
+                   fl.Qbf_check.Checker.line fl.Qbf_check.Checker.msg)
+          | exception Sys_error msg -> Error msg))
+
 (* An answer frame from [w].  Only an answer matching the worker's
    current assignment counts: anything else is a stale frame from a
    cancelled attempt racing its SIGTERM, and is dropped.  Conclusive ->
@@ -615,17 +672,23 @@ let handle_answer t w (a : Protocol.answer) =
             if j.outstanding > 0 then j.outstanding <- j.outstanding - 1;
             match (a.Protocol.a_error, a.Protocol.a_outcome) with
             | Some msg, _ -> attempt_failed t j (Failure.Input msg)
-            | None, (ST.True | ST.False) ->
-                settle t j
-                  {
-                    (base_report j) with
-                    r_outcome = a.Protocol.a_outcome;
-                    r_time = a.Protocol.a_time;
-                    r_config = label;
-                    r_stopped = a.Protocol.a_stopped;
-                    r_decisions = a.Protocol.a_decisions;
-                    r_nodes = a.Protocol.a_nodes;
-                  }
+            | None, (ST.True | ST.False) -> (
+                match verify_certificate t j a with
+                | Error _ ->
+                    Counters.incr t.counters "proofs_rejected";
+                    attempt_failed t j Failure.Garbage
+                | Ok r_proof ->
+                    settle t j
+                      {
+                        (base_report j) with
+                        r_outcome = a.Protocol.a_outcome;
+                        r_time = a.Protocol.a_time;
+                        r_config = label;
+                        r_stopped = a.Protocol.a_stopped;
+                        r_decisions = a.Protocol.a_decisions;
+                        r_nodes = a.Protocol.a_nodes;
+                        r_proof;
+                      })
             | None, ST.Unknown ->
                 let cls =
                   match a.Protocol.a_stopped with
@@ -838,9 +901,17 @@ let solve_inline t j =
           (match job.Protocol.max_nodes with Some _ as n -> n | None -> p.max_nodes)
         ~poll_interval:64 ()
     in
+    let proof_file = proof_path_for t j in
     match
-      Run.solve_source ~limits ?interrupt:t.interrupt ~config
-        job.Protocol.source
+      match
+        Run.solve_source ~limits ?interrupt:t.interrupt ~config ?proof_file
+          job.Protocol.source
+      with
+      | r -> r
+      | exception Sys_error msg ->
+          Error
+            (Qbf_run.Run_error.Io
+               { file = Option.value ~default:"" proof_file; msg })
     with
     | Error e ->
         record_failure j (Failure.Input (Qbf_run.Run_error.to_string e));
@@ -886,6 +957,10 @@ let solve_inline t j =
             r_stopped = Option.map Run.string_of_stop_reason r.Run.stopped;
             r_decisions = r.Run.stats.ST.decisions;
             r_nodes = ST.nodes r.Run.stats;
+            r_proof =
+              (match r.Run.witness with
+              | ST.Proof_trace { path; _ } -> Some path
+              | ST.No_witness -> None);
           }
   end
 

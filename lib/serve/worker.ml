@@ -119,6 +119,10 @@ let answer_of_report ~id ~attempt (r : Run.report) =
     a_stopped = Option.map Run.string_of_stop_reason r.Run.stopped;
     a_decisions = r.Run.stats.ST.decisions;
     a_nodes = ST.nodes r.Run.stats;
+    a_proof =
+      (match r.Run.witness with
+      | ST.Proof_trace { path; _ } -> Some path
+      | ST.No_witness -> None);
     a_error = None;
   }
 
@@ -198,20 +202,29 @@ let solve_dispatch ~out ~stats (d : Protocol.dispatch) =
       ?mem_mb:job.Protocol.mem_mb
       ?max_nodes:job.Protocol.max_nodes ~poll_interval:64 ()
   in
+  let error_answer msg =
+    {
+      Protocol.a_id = id;
+      a_attempt = attempt;
+      a_outcome = ST.Unknown;
+      a_time = 0.;
+      a_stopped = None;
+      a_decisions = 0;
+      a_nodes = 0;
+      a_proof = None;
+      a_error = Some msg;
+    }
+  in
   let answer =
-    match Run.solve_source ~limits ~config job.Protocol.source with
+    (* [Sys_error] covers an unwritable proof path: the supervisor chose
+       it, so report it as a job error rather than dying on it. *)
+    match
+      Run.solve_source ~limits ~config ?proof_file:d.Protocol.d_proof
+        job.Protocol.source
+    with
     | Ok report -> answer_of_report ~id ~attempt report
-    | Error e ->
-        {
-          Protocol.a_id = id;
-          a_attempt = attempt;
-          a_outcome = ST.Unknown;
-          a_time = 0.;
-          a_stopped = None;
-          a_decisions = 0;
-          a_nodes = 0;
-          a_error = Some (Qbf_run.Run_error.to_string e);
-        }
+    | Error e -> error_answer (Qbf_run.Run_error.to_string e)
+    | exception Sys_error msg -> error_answer msg
   in
   (* final snapshot first, so a supervisor processing the answer frame
      already holds this attempt's complete statistics *)

@@ -8,10 +8,14 @@
    resolution on universal literals with their unit-cube reasons,
    learning a good/cube.
 
-   Whenever analysis would need a step outside plain Q/term resolution —
-   a tautological resolvent, a pivot assigned by a decision or a pure
-   literal, a literal whose truth value violates the working-set
-   invariant — it falls back to the sound chronological flip of plain
+   Analysis works in long-distance Q/term resolution: a clash of
+   polarities on a reducible-kind variable that the pivot ≺-precedes is
+   folded into the resolvent as a merged pair (Zhang-Malik; sound by
+   Balabanov-Jiang, with the quantifier tree as the dependency order).
+   Whenever analysis would still need a step outside that system — an
+   inadmissible tautological resolvent, a pivot assigned by a decision
+   or a pure literal, a literal whose truth value violates the
+   working-set invariant — it falls back to the sound chronological flip of plain
    Q-DLL (deepest unflipped existential decision for conflicts, deepest
    unflipped universal decision for solutions).  Learning is therefore an
    accelerator and never a soundness risk.
@@ -95,18 +99,40 @@ exception Fallback
 
 type work = {
   tbl : (int, int) Hashtbl.t; (* var -> literal *)
+  merged : (int, unit) Hashtbl.t; (* long-distance merged variables *)
   mutable members : int list; (* current literals *)
 }
 
-let work_create () = { tbl = Hashtbl.create 64; members = [] }
+let work_create () =
+  { tbl = Hashtbl.create 64; merged = Hashtbl.create 4; members = [] }
 
 (* [bad] rejects literals that would break the working-set invariant:
-   a true literal in a clause analysis, a false one in a cube analysis. *)
-let work_add s w ~bad l =
+   a true literal in a clause analysis, a false one in a cube analysis.
+
+   A clash of polarities is not always fatal: long-distance Q-resolution
+   (Zhang-Malik; proved sound by Balabanov-Jiang) admits the
+   tautological pair as a *merged* literal when its variable is of the
+   reducible kind (universal in a clause, existential in a cube) and the
+   pivot of the resolution ≺-precedes it — on a quantifier tree the
+   merged variable's player sees the pivot, so the pair reads as "choose
+   the polarity per branch of the pivot".  [merge], when given, carries
+   [(cube, pivot_var)] of the step being replayed; merged variables keep
+   their first-seen polarity in [members], are reduced under the normal
+   rule, and — when they survive to a learned constraint — are stored
+   with both polarities, which the propositional engines read as a
+   weaker (hence sound) constraint that still asserts its pivot at the
+   backjump level, where the pair is unassigned. *)
+let work_add s w ~bad ?merge l =
   let v = S.var l in
   match Hashtbl.find_opt w.tbl v with
   | Some l' when l' = l -> ()
-  | Some _ -> raise Fallback (* tautological resolvent *)
+  | Some _ -> (
+      if not (Hashtbl.mem w.merged v) then
+        match merge with
+        | Some (cube, pvar) when s.S.is_exist.(v) = cube && S.precedes s pvar v
+          ->
+            Hashtbl.replace w.merged v ()
+        | _ -> raise Fallback (* tautological resolvent *))
   | None ->
       if bad (S.lit_value s l) then raise Fallback;
       Hashtbl.replace w.tbl v l;
@@ -114,7 +140,40 @@ let work_add s w ~bad l =
 
 let work_remove w l =
   Hashtbl.remove w.tbl (S.var l);
+  Hashtbl.remove w.merged (S.var l);
   w.members <- List.filter (fun m -> m <> l) w.members
+
+(* Resolve [rid] into the working set: add every literal but the pivot's.
+   A learned constraint may itself carry a merged pair (both polarities
+   of a variable); such a pair is *inherited* — its admissibility was
+   established when the constraint was derived, so it enters the working
+   set as a merged variable with no further side condition (and no value
+   check: merged literals are syntactic, the assignment plays no role in
+   their soundness). *)
+let add_antecedent s w ~bad ~cube ~pvar rid =
+  let db = s.S.db in
+  let lits = Db.lits_list db rid in
+  let seen = Hashtbl.create 8 in
+  let pair = Hashtbl.create 2 in
+  List.iter
+    (fun m ->
+      let v = S.var m in
+      if Hashtbl.mem seen v then Hashtbl.replace pair v ()
+      else Hashtbl.replace seen v ())
+    lits;
+  List.iter
+    (fun m ->
+      let v = S.var m in
+      if v <> pvar then
+        if Hashtbl.mem pair v then begin
+          if not (Hashtbl.mem w.tbl v) then begin
+            Hashtbl.replace w.tbl v m;
+            w.members <- m :: w.members
+          end;
+          Hashtbl.replace w.merged v ()
+        end
+        else work_add s w ~bad ~merge:(cube, pvar) m)
+    lits
 
 (* Universal reduction of the working clause (Lemma 3): drop universal
    literals preceding no existential literal of the set.  Iterates to a
@@ -152,15 +211,103 @@ let deepest s lits =
           if s.S.pos.(S.var l) > s.S.pos.(S.var b) then Some l else Some b)
     None lits
 
-let max_level_of_others s w pivot =
+(* A *trailing* literal of the opposite kind — a universal in a clause
+   (an existential in a cube) that does not ≺-precede the pivot — can
+   never block the learned constraint from asserting its pivot: the
+   unit rules only consult opposite-kind literals that precede the unit
+   literal.  Such literals are therefore invisible to the asserting-stop
+   test and to the backjump level, exactly as if universal reduction had
+   already removed them at the propagation site.  Merged variables are
+   excluded here and judged separately by [merged_ok]. *)
+let blocks_assert s w ~cube pivot l =
+  let v = S.var l in
+  (not (Hashtbl.mem w.merged v))
+  && (s.S.is_exist.(v) <> cube || S.precedes s v (S.var pivot))
+
+let max_level_of_others s w ~cube pivot =
   List.fold_left
     (fun acc l ->
-      if l = pivot then acc
+      if l = pivot || not (blocks_assert s w ~cube pivot l) then acc
       else if S.is_assigned s (S.var l) then max acc s.S.vlevel.(S.var l)
       else acc)
     0 w.members
 
-let sorted_lits w = List.sort_uniq Int.compare w.members
+(* A merged pair may survive into the learned constraint only when it
+   cannot interfere with the assertion: the merged variable must not
+   ≺-precede the pivot (an unassigned opposite-kind variable preceding
+   the unit literal blocks the unit rules), and an assigned one must
+   come unassigned at the backjump — one satisfied polarity would park
+   the stored constraint as trivially fixed and lose the assertion. *)
+let merged_ok s w ~beta pivot =
+  Hashtbl.fold
+    (fun v () ok ->
+      ok
+      && (not (S.precedes s v (S.var pivot)))
+      && ((not (S.is_assigned s v)) || s.S.vlevel.(v) > beta))
+    w.merged true
+
+(* Merged variables are emitted with both polarities: the recorded
+   resolvent (and the stored constraint) carries the pair. *)
+let sorted_lits w =
+  List.sort_uniq Int.compare
+    (List.concat_map
+       (fun l ->
+         if Hashtbl.mem w.merged (S.var l) then [ l; S.neg l ] else [ l ])
+       w.members)
+
+(* ---------- proof emission --------------------------------------------- *)
+
+(* Translate an analysis chain — (pivot variable, antecedent constraint
+   id) pairs, newest first — into proof ids and emit the resolution
+   record.  Returns the resolvent's proof id, or 0 if any antecedent
+   lost its registration; the trace then stays incomplete rather than
+   wrong and the engine reports [No_witness]. *)
+let emit_step s p ~cube ~first ~rev_chain ~lits =
+  let db = s.S.db in
+  let chain =
+    List.rev_map (fun (pvar, cid) -> (pvar, Db.pid db cid)) rev_chain
+  in
+  if first = 0 || List.exists (fun (_, a) -> a = 0) chain then 0
+  else begin
+    let pid = Proof.fresh_pid p in
+    Proof.step p ~cube ~pid ~first ~chain ~lits;
+    pid
+  end
+
+(* Finish a concluded analysis for the trace.  When analysis stops at a
+   level-0 pivot the working set is not yet empty: keep resolving the
+   deepest remaining pivot with its unit reason, reduction interleaved,
+   until reduction empties the set.  Every such step stays inside plain
+   Q/term resolution because with pure-literal fixing off every level-0
+   assignment is a unit propagation.  This runs entirely outside the
+   search — no bumps, no learning — and any surprise aborts emission
+   (incomplete trace) instead of touching the outcome. *)
+let conclude s p ~cube ~first ~rev_chain w =
+  let db = s.S.db in
+  let bound = 5000 + (4 * s.S.nvars) in
+  let bad v = if cube then v = 0 else v = 1 in
+  let rec drain chain n =
+    if n > bound then raise Fallback;
+    if cube then reduce_cube_work s w else reduce_clause_work s w;
+    let pivots =
+      List.filter (fun l -> s.S.is_exist.(S.var l) <> cube) w.members
+    in
+    match deepest s pivots with
+    | None -> if w.members = [] then chain else raise Fallback
+    | Some e -> (
+        match s.S.reason.(S.var e) with
+        | Reason rid when Db.is_cube db rid = cube ->
+            work_remove w e;
+            add_antecedent s w ~bad ~cube ~pvar:(S.var e) rid;
+            drain ((S.var e, rid) :: chain) (n + 1)
+        | Reason _ | Decision | Flipped | Pure -> raise Fallback)
+  in
+  match drain rev_chain 0 with
+  | rev_chain -> (
+      match emit_step s p ~cube ~first ~rev_chain ~lits:[] with
+      | 0 -> ()
+      | pid -> Proof.final p ~outcome:cube ~pid)
+  | exception Fallback -> ()
 
 (* ---------- conflict analysis ------------------------------------------ *)
 
@@ -174,21 +321,35 @@ let analyze_conflict s cid0 =
      every session frame an antecedent depends on, so it is tagged with
      the maximum and retracted when any of them is popped. *)
   let max_frame = ref (Db.frame db cid0) in
+  (* Resolution chain for the trace, (pivot var, antecedent id) newest
+     first; only maintained while a writer is attached. *)
+  let tracing = s.S.proof <> None in
+  let pchain = ref [] in
+  let conclude_false () =
+    (match s.S.proof with
+    | Some p ->
+        conclude s p ~cube:false ~first:(Db.pid db cid0) ~rev_chain:!pchain w
+    | None -> ());
+    `False
+  in
   let bound = 5000 + (4 * s.S.nvars) in
   let rec loop n =
     if n > bound then raise Fallback;
     reduce_clause_work s w;
     let exist_lits = List.filter (fun l -> s.S.is_exist.(S.var l)) w.members in
     match deepest s exist_lits with
-    | None -> `False (* purely universal working clause: formula is false *)
+    | None ->
+        (* purely universal working clause: formula is false *)
+        conclude_false ()
     | Some e ->
         let lvl = s.S.vlevel.(S.var e) in
-        if lvl = 0 then `False
+        if lvl = 0 then conclude_false ()
         else
           let ok_levels =
             List.for_all
               (fun l ->
                 l = e
+                || (not (blocks_assert s w ~cube:false e l))
                 || (not (S.is_assigned s (S.var l)))
                 || s.S.vlevel.(S.var l) < lvl)
               w.members
@@ -199,8 +360,8 @@ let analyze_conflict s cid0 =
                 || not (S.precedes s (S.var l) (S.var e)))
               w.members
           in
-          if ok_levels && ok_scope then begin
-            let beta = max_level_of_others s w e in
+          let beta = max_level_of_others s w ~cube:false e in
+          if ok_levels && ok_scope && merged_ok s w ~beta e then begin
             let lits = Array.of_list (sorted_lits w) in
             let lbd = lbd_of s lits in
             let from_level = S.current_level s in
@@ -218,6 +379,15 @@ let analyze_conflict s cid0 =
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
             note_learn s ~cube:false ~size:(Array.length lits) ~from_level
               ~to_level:beta;
+            (match s.S.proof with
+            | Some p -> (
+                match
+                  emit_step s p ~cube:false ~first:(Db.pid db cid0)
+                    ~rev_chain:!pchain ~lits:(Array.to_list lits)
+                with
+                | 0 -> ()
+                | pid -> Db.set_pid db cid pid)
+            | None -> ());
             `Learned
           end
           else
@@ -226,9 +396,9 @@ let analyze_conflict s cid0 =
                 if Db.frame db rid > !max_frame then
                   max_frame := Db.frame db rid;
                 Db.bump db rid;
+                if tracing then pchain := (S.var e, rid) :: !pchain;
                 work_remove w e;
-                Db.iter_lits db rid (fun m ->
-                    if S.var m <> S.var e then work_add s w ~bad m);
+                add_antecedent s w ~bad ~cube:false ~pvar:(S.var e) rid;
                 loop (n + 1)
             | Reason _ | Decision | Flipped | Pure -> raise Fallback
   in
@@ -335,7 +505,12 @@ let cover_with s w ~virtual_flips =
         choose !best
       end
     end
-  done
+  done;
+  (* Full chosen set, including reducible/virtual literals that never
+     enter the working cube: the trace's axiom term records all of it,
+     and the checker's own existential reduction brings it back to the
+     working cube. *)
+  Hashtbl.fold (fun _ m acc -> m :: acc) chosen []
 
 let cover_cube s w =
   try cover_with s w ~virtual_flips:true with
@@ -356,11 +531,29 @@ let analyze_solution s source =
       | Propagate.Cover -> s.S.frame_level
       | Propagate.Cube cid -> Db.frame db cid)
   in
-  (match source with
-  | Propagate.Cover -> cover_cube s w
-  | Propagate.Cube cid ->
-      Db.iter_lits db cid (work_add s w ~bad);
-      Db.bump db cid);
+  let tracing = s.S.proof <> None in
+  let pchain = ref [] in
+  let first_pid =
+    match source with
+    | Propagate.Cover ->
+        let cover = cover_cube s w in
+        (match s.S.proof with
+        | Some p ->
+            let pid = Proof.fresh_pid p in
+            Proof.axiom_term p ~pid (List.sort_uniq Int.compare cover);
+            pid
+        | None -> 0)
+    | Propagate.Cube cid ->
+        Db.iter_lits db cid (work_add s w ~bad);
+        Db.bump db cid;
+        if tracing then Db.pid db cid else 0
+  in
+  let conclude_true () =
+    (match s.S.proof with
+    | Some p -> conclude s p ~cube:true ~first:first_pid ~rev_chain:!pchain w
+    | None -> ());
+    `True
+  in
   let bound = 5000 + (4 * s.S.nvars) in
   let rec loop n =
     if n > bound then raise Fallback;
@@ -369,15 +562,18 @@ let analyze_solution s source =
       List.filter (fun l -> not s.S.is_exist.(S.var l)) w.members
     in
     match deepest s univ_lits with
-    | None -> `True (* purely existential working cube: formula is true *)
+    | None ->
+        (* purely existential working cube: formula is true *)
+        conclude_true ()
     | Some u ->
         let lvl = s.S.vlevel.(S.var u) in
-        if lvl = 0 then `True
+        if lvl = 0 then conclude_true ()
         else
           let ok_levels =
             List.for_all
               (fun l ->
                 l = u
+                || (not (blocks_assert s w ~cube:true u l))
                 || (not (S.is_assigned s (S.var l)))
                 || s.S.vlevel.(S.var l) < lvl)
               w.members
@@ -388,8 +584,8 @@ let analyze_solution s source =
                 || not (S.precedes s (S.var l) (S.var u)))
               w.members
           in
-          if ok_levels && ok_scope then begin
-            let beta = max_level_of_others s w u in
+          let beta = max_level_of_others s w ~cube:true u in
+          if ok_levels && ok_scope && merged_ok s w ~beta u then begin
             let lits = Array.of_list (sorted_lits w) in
             let lbd = lbd_of s lits in
             let from_level = S.current_level s in
@@ -403,6 +599,15 @@ let analyze_solution s source =
             s.S.stats.backjumps <- s.S.stats.backjumps + 1;
             note_learn s ~cube:true ~size:(Array.length lits) ~from_level
               ~to_level:beta;
+            (match s.S.proof with
+            | Some p -> (
+                match
+                  emit_step s p ~cube:true ~first:first_pid
+                    ~rev_chain:!pchain ~lits:(Array.to_list lits)
+                with
+                | 0 -> ()
+                | pid -> Db.set_pid db cid pid)
+            | None -> ());
             `Learned
           end
           else
@@ -411,9 +616,9 @@ let analyze_solution s source =
                 if Db.frame db rid > !max_frame then
                   max_frame := Db.frame db rid;
                 Db.bump db rid;
+                if tracing then pchain := (S.var u, rid) :: !pchain;
                 work_remove w u;
-                Db.iter_lits db rid (fun m ->
-                    if S.var m <> S.var u then work_add s w ~bad m);
+                add_antecedent s w ~bad ~cube:true ~pvar:(S.var u) rid;
                 loop (n + 1)
             | Reason _ | Decision | Flipped | Pure -> raise Fallback
   in

@@ -32,6 +32,9 @@ type t = {
   mutable uq_mark : int array;
   mutable cq_mark : int array;
   mutable lbd : int array;
+  mutable pid : int array;
+      (* stable proof-side id (Proof records), 0 = unregistered; survives
+         compaction, so proof traces never reference a relocated id *)
   mutable activity : float array;
   mutable n : int;
   (* activity bump increment; grows at every decay, everything rescales
@@ -60,6 +63,7 @@ let create () =
     uq_mark = Array.make 64 0;
     cq_mark = Array.make 64 0;
     lbd = Array.make 64 0;
+    pid = Array.make 64 0;
     activity = Array.make 64 0.;
     n = 0;
     act_inc = 1.0;
@@ -104,6 +108,7 @@ let ensure_slot db =
     db.uq_mark <- grow_int db.uq_mark need 0;
     db.cq_mark <- grow_int db.cq_mark need 0;
     db.lbd <- grow_int db.lbd need 0;
+    db.pid <- grow_int db.pid need 0;
     db.activity <- grow_float db.activity need
   end
 
@@ -134,6 +139,7 @@ let add db ~kind ~learned ~frame lits =
   db.uq_mark.(cid) <- 0;
   db.cq_mark.(cid) <- 0;
   db.lbd.(cid) <- 0;
+  db.pid.(cid) <- 0;
   db.activity.(cid) <- 0.;
   cid
 
@@ -219,6 +225,8 @@ let bump db cid =
 let decay db = db.act_inc <- db.act_inc /. 0.999
 let lbd db cid = db.lbd.(cid)
 let set_lbd db cid v = db.lbd.(cid) <- v
+let pid db cid = db.pid.(cid)
+let set_pid db cid v = db.pid.(cid) <- v
 
 (* ------------------------------------------------------------------ *)
 (* Compaction *)
@@ -249,6 +257,7 @@ let compact db =
         db.uq_mark.(nid) <- db.uq_mark.(cid);
         db.cq_mark.(nid) <- db.cq_mark.(cid);
         db.lbd.(nid) <- db.lbd.(cid);
+        db.pid.(nid) <- db.pid.(cid);
         db.activity.(nid) <- db.activity.(cid)
       end;
       incr j

@@ -107,6 +107,13 @@ val decay : t -> unit
 val lbd : t -> int -> int
 val set_lbd : t -> int -> int -> unit
 
+(* Stable proof-side id of the constraint in an attached {!Proof} trace;
+   0 = not registered.  Unlike the arena id it survives [compact] (the
+   column relocates with the constraint), so a trace never ends up
+   referencing a constraint through a relocated id. *)
+val pid : t -> int -> int
+val set_pid : t -> int -> int -> unit
+
 (* -- compaction ---------------------------------------------------- *)
 
 (* Drop every deactivated constraint, slide survivors left (stable, so

@@ -252,15 +252,44 @@ let solve_state s =
         end
   in
   if o.Obs.profile_on then Profile.enter o.Obs.profile Profile.Solve;
+  (* A conclusive outcome carries a certificate iff this call added a
+     conclusion record to the attached trace — a chronological
+     conclusion (learning off, or every analysis fell back) derives no
+     empty constraint, and an earlier session call's conclusion does not
+     certify this one. *)
+  let finals_before =
+    match s.S.proof with Some p -> Proof.finals p | None -> 0
+  in
   let outcome = loop () in
   if o.Obs.profile_on then Profile.leave o.Obs.profile Profile.Solve;
   Obs.flush o;
-  { outcome; stats = s.S.stats }
+  let witness =
+    match (s.S.proof, outcome) with
+    | Some p, (True | False) when Proof.finals p > finals_before ->
+        Proof.flush p;
+        Proof_trace
+          {
+            path = Proof.path p;
+            steps = Proof.steps p;
+            format_version = Proof.version;
+          }
+    | _ -> No_witness
+  in
+  { outcome; stats = s.S.stats; witness }
 
 (* Solve a QBF.  The formula is lightly preprocessed: tautological
    clauses dropped (done by State), which is enough for the engine's
-   invariants. *)
-let solve ?(config = default_config) formula =
+   invariants.  Attaching a proof writer forces pure-literal fixing off
+   (a pure-assigned pivot has no reason constraint to resolve with) and
+   learning on (the resolution steps of Analyze are the derivation; a
+   chronological engine concludes without deriving anything; see
+   Proof). *)
+let solve ?(config = default_config) ?proof formula =
+  let config =
+    match proof with
+    | Some _ -> config |> with_pure_literals false |> with_learning true
+    | None -> config
+  in
   let s =
     match config.observe.obs with
     | Some o when o.Obs.profile_on ->
@@ -268,6 +297,7 @@ let solve ?(config = default_config) formula =
             S.create formula config)
     | _ -> S.create formula config
   in
+  (match proof with Some p -> S.attach_proof s p | None -> ());
   solve_state s
 
 (* Test hook: run one reduction cycle against the current state exactly

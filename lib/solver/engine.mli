@@ -15,17 +15,31 @@
 
 (** Decide a QBF in one shot.  Correct and complete for any budget-free
     configuration; returns [Unknown] only when a budget of [config]
-    triggers.
+    triggers — it never raises on its own and never mutates [config].
 
-    Deprecated as an API surface: prefer {!Session} — it solves the same
-    formulas and additionally supports incremental growth, push/pop and
-    assumptions.  Kept because one-shot callers (tools, tests, the
-    differential fuzzer) have no session state to manage. *)
+    [?proof] attaches a trace writer: the call forces pure-literal
+    fixing off (a pure-assigned pivot has no reason constraint, see
+    {!Proof}) and learning on (the resolutions of conflict/solution
+    analysis are the derivation), records every resolution, and sets the result's
+    [witness] to [Proof_trace] when the outcome is conclusive and fully
+    derived.  The caller still owns the writer and must {!Proof.close}
+    it.
+
+    This entry point is equivalent to {!Session.one_shot} and kept for
+    callers with no session state to manage (tools, tests, the
+    differential fuzzer); anything incremental — growth, push/pop,
+    assumptions — must go through {!Session}. *)
 val solve :
-  ?config:Solver_types.config -> Qbf_core.Formula.t -> Solver_types.result
+  ?config:Solver_types.config ->
+  ?proof:Proof.t ->
+  Qbf_core.Formula.t ->
+  Solver_types.result
 
 (** Run the search loop on a prepared state.  Internal: {!Session} is
-    the supported way to drive the engine across multiple calls. *)
+    the supported way to drive the engine across multiple calls.  The
+    result's [witness] reports a certificate iff the state's attached
+    proof writer (see {!State.attach_proof}) gained a conclusion record
+    during this call. *)
 val solve_state : State.t -> Solver_types.result
 
 (** Run one learned-DB reduction cycle (deactivate the worst unlocked,

@@ -1,0 +1,149 @@
+(* Buffered Q-resolution / term-resolution trace writer.
+
+   The trace is a compact line-based text format (QRP-style), one record
+   per line, emitted in derivation order so an independent checker can
+   replay it in a single pass against the original formula:
+
+     p qproof 1                         header, format version
+     v VAR (e|a) D F                    variable: DIMACS id, quantifier,
+                                        DFS discovery/finish interval
+                                        (re-emitted when the prefix grows)
+     i PID LIT.. 0                      input clause registration
+     a PID LIT.. 0                      axiom term: a consistent literal
+                                        set covering every active input
+                                        clause (an initial "good")
+     r (c|t) PID FIRST (PVAR ANT).. 0 LIT.. 0
+                                        resolution chain: starting from
+                                        antecedent FIRST, resolve on
+                                        DIMACS variable PVAR with
+                                        antecedent ANT (left to right,
+                                        with universal/existential
+                                        reduction interleaved); the
+                                        recorded resolvent is LIT.. —
+                                        empty for the empty clause/term
+     x PID                              retraction: the constraint is no
+                                        longer derivable (session pop,
+                                        or a term outdated by matrix
+                                        growth)
+     f (1|0) PID                        conclusion: the formula is true
+                                        (PID is an empty term) or false
+                                        (PID is an empty clause)
+
+   Literals are DIMACS integers.  Proof ids (PID) are assigned here,
+   monotonically from 1, and are *stable*: the solver stores them in the
+   [Constraint_db] pid column, which relocates with the constraint under
+   arena compaction, so DB reduction and session retraction never orphan
+   an antecedent reference.
+
+   Emission is append-only through a buffer; nothing in this module
+   depends on solver state, so the writer can be driven from tests
+   directly.  Callers must disable pure-literal fixing while a proof is
+   attached ([Solver_types.with_pure_literals false]): pure-assigned
+   pivots have no clause/term reason to resolve with, so analyses
+   touching them cannot be certified (they fall back to chronological
+   steps, leaving the trace without a conclusion). *)
+
+let version = 1
+
+type t = {
+  path : string;
+  oc : out_channel;
+  buf : Buffer.t;
+  mutable next_pid : int;
+  mutable steps : int; (* derivation records emitted (i/a/r) *)
+  mutable finals : int; (* conclusion records emitted *)
+  mutable closed : bool;
+}
+
+let flush_threshold = 1 lsl 16
+
+let create ~path =
+  let oc = open_out path in
+  let buf = Buffer.create flush_threshold in
+  Buffer.add_string buf (Printf.sprintf "p qproof %d\n" version);
+  { path; oc; buf; next_pid = 1; steps = 0; finals = 0; closed = false }
+
+let path t = t.path
+let steps t = t.steps
+let finals t = t.finals
+
+let fresh_pid t =
+  let p = t.next_pid in
+  t.next_pid <- p + 1;
+  p
+
+let maybe_flush t =
+  if Buffer.length t.buf >= flush_threshold then begin
+    Buffer.output_buffer t.oc t.buf;
+    Buffer.clear t.buf
+  end
+
+let flush t =
+  if not t.closed then begin
+    Buffer.output_buffer t.oc t.buf;
+    Buffer.clear t.buf;
+    flush t.oc
+  end
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    close_out_noerr t.oc;
+    t.closed <- true
+  end
+
+(* Raw solver literal -> DIMACS integer (see Qbf_core.Lit). *)
+let dimacs l =
+  let v = (l lsr 1) + 1 in
+  if l land 1 = 0 then v else -v
+
+let add_lits buf lits =
+  List.iter
+    (fun l ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (dimacs l)))
+    lits;
+  Buffer.add_string buf " 0\n"
+
+let declare_var t ~var ~exist ~d ~f =
+  Buffer.add_string t.buf
+    (Printf.sprintf "v %d %c %d %d\n" (var + 1) (if exist then 'e' else 'a') d
+       f);
+  maybe_flush t
+
+let input_clause t ~pid lits =
+  t.steps <- t.steps + 1;
+  Buffer.add_string t.buf (Printf.sprintf "i %d" pid);
+  add_lits t.buf lits;
+  maybe_flush t
+
+let axiom_term t ~pid lits =
+  t.steps <- t.steps + 1;
+  Buffer.add_string t.buf (Printf.sprintf "a %d" pid);
+  add_lits t.buf lits;
+  maybe_flush t
+
+(* [chain] pairs a 0-based pivot variable with the proof id of the
+   antecedent resolved on it, in derivation order. *)
+let step t ~cube ~pid ~first ~chain ~lits =
+  t.steps <- t.steps + 1;
+  let b = t.buf in
+  Buffer.add_string b
+    (Printf.sprintf "r %c %d %d" (if cube then 't' else 'c') pid first);
+  List.iter
+    (fun (pvar, ant) ->
+      Buffer.add_string b (Printf.sprintf " %d %d" (pvar + 1) ant))
+    chain;
+  Buffer.add_string b " 0";
+  add_lits b lits;
+  maybe_flush t
+
+let retract t ~pid =
+  Buffer.add_string t.buf (Printf.sprintf "x %d\n" pid);
+  maybe_flush t
+
+let final t ~outcome ~pid =
+  t.finals <- t.finals + 1;
+  Buffer.add_string t.buf
+    (Printf.sprintf "f %d %d\n" (if outcome then 1 else 0) pid);
+  maybe_flush t

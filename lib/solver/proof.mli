@@ -1,0 +1,84 @@
+(** Buffered Q-resolution / term-resolution trace writer.
+
+    Records every derivation step of {!Analyze} — input clause and axiom
+    term registration, resolution chains with universal/existential
+    reduction, retractions, and the final empty-clause (False) or
+    empty-term (True) derivation — as a compact line-based text trace
+    that the independent checker ({!Qbf_check.Checker},
+    [tools/qcheck_proof.exe]) replays against the original formula.  See
+    proof.ml for the record grammar.
+
+    Proof ids are assigned here (monotonic from 1) and stored in the
+    {!Constraint_db} pid column, which relocates with its constraint
+    under arena compaction — stable across DB reduction and session
+    retraction.
+
+    Attach a writer through [Engine.solve ?proof] or the [?proof]
+    parameter of {!Session}; both force pure-literal fixing off (a
+    pure-assigned pivot has no reason constraint to resolve with) and
+    learning on (the resolutions of Analyze are the derivation).  The
+    writer itself never touches solver state and can be driven directly
+    from tests. *)
+
+type t
+
+(** Trace format version, recorded in the header and in
+    [Solver_types.Proof_trace]. *)
+val version : int
+
+(** Open [path] for writing and emit the header.  The caller owns the
+    file: call {!close} when solving is done. *)
+val create : path:string -> t
+
+val path : t -> string
+
+(** Derivation records emitted so far (input/axiom/resolution). *)
+val steps : t -> int
+
+(** Conclusion records emitted so far.  The engine compares this before
+    and after a solve to decide whether the run produced a complete
+    certificate. *)
+val finals : t -> int
+
+(** Flush buffered records to disk (the writer stays usable). *)
+val flush : t -> unit
+
+(** Flush and close the underlying channel.  Idempotent. *)
+val close : t -> unit
+
+(** Allocate the next proof id. *)
+val fresh_pid : t -> int
+
+(** Declare a variable: 0-based solver variable, quantifier, and DFS
+    discovery/finish timestamps (the ≺ order of eq. 13).  Re-emitted for
+    every variable when a session extension renumbers the prefix; the
+    checker keeps the latest declaration. *)
+val declare_var : t -> var:int -> exist:bool -> d:int -> f:int -> unit
+
+(** Register an input clause (raw solver literals). *)
+val input_clause : t -> pid:int -> int list -> unit
+
+(** Register an axiom term: a consistent literal set covering every
+    active input clause (an initial good, Section III of the paper). *)
+val axiom_term : t -> pid:int -> int list -> unit
+
+(** Emit a resolution chain: starting from antecedent [first], resolve
+    on each [(pivot_var, antecedent_pid)] of [chain] in order, reduction
+    interleaved; [lits] is the recorded resolvent (raw literals, empty
+    for the empty clause/term). *)
+val step :
+  t ->
+  cube:bool ->
+  pid:int ->
+  first:int ->
+  chain:(int * int) list ->
+  lits:int list ->
+  unit
+
+(** The constraint is no longer derivable: popped with its session
+    frame, or a term outdated by matrix growth. *)
+val retract : t -> pid:int -> unit
+
+(** Conclude: [outcome = true] with the pid of an empty term, [false]
+    with the pid of an empty clause. *)
+val final : t -> outcome:bool -> pid:int -> unit

@@ -50,7 +50,8 @@ let check_live t op =
 
 let default_validate = Sys.getenv_opt "QBF_SESSION_DEBUG" <> None
 
-let create ?(config = default_config) ?(validate = default_validate) () =
+let create ?(config = default_config) ?(validate = default_validate) ?proof ()
+    =
   let hook = ref no_stop in
   (* Per-call budget: the session owns the [should_stop] slot and ORs a
      swappable hook with whatever the caller configured, so each call
@@ -61,13 +62,24 @@ let create ?(config = default_config) ?(validate = default_validate) () =
     | Some user -> Some (fun () -> !hook () || user ())
   in
   let config = with_should_stop should_stop config in
+  (* A proof writer needs every pivot to carry a reason constraint and
+     every conclusion to come out of a resolution derivation, so
+     pure-literal fixing goes off and learning goes on for the session's
+     lifetime (the config is fixed at state creation; see Proof). *)
+  let config =
+    match proof with
+    | Some _ -> config |> with_pure_literals false |> with_learning true
+    | None -> config
+  in
   let empty = Formula.make (Prefix.of_forest ~nvars:0 []) [] in
+  let state = S.create empty config in
+  (match proof with Some p -> S.attach_proof state p | None -> ());
   {
     nodes = Vec.create dummy_node;
     roots_rev = [];
     next_var = 0;
     owner = Vec.create (-1);
-    state = S.create empty config;
+    state;
     hook;
     validate;
     pending = [];
@@ -254,8 +266,8 @@ let solve ?(assumptions = []) ?should_stop t =
 
 (* --- seeding from an existing formula ----------------------------------- *)
 
-let of_formula ?config ?validate formula =
-  let t = create ?config ?validate () in
+let of_formula ?config ?validate ?proof formula =
+  let t = create ?config ?validate ?proof () in
   (* Import the normalised forest with the original variable ids: the
      session's own ids must match the clauses'. *)
   t.next_var <- Formula.nvars formula;
@@ -306,8 +318,8 @@ let var_count t = t.next_var
 let state_for_testing t = t.state
 let dispose t = t.disposed <- true
 
-let one_shot ?config formula =
-  let t = of_formula ?config formula in
+let one_shot ?config ?proof formula =
+  let t = of_formula ?config ?proof formula in
   let r = solve t in
   dispose t;
   r

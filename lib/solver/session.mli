@@ -47,14 +47,29 @@ type block
 (** [create ()] starts an empty session (no variables, no clauses).
     The [config] is fixed for the session's lifetime; its budget hooks
     apply to every call ([Session.solve]'s [?should_stop] adds a
-    per-call hook on top). *)
-val create : ?config:Solver_types.config -> ?validate:bool -> unit -> t
+    per-call hook on top).
+
+    [?proof] attaches a trace writer for the session's lifetime: every
+    input clause, resolution and retraction is recorded, each conclusive
+    [solve] appends its own conclusion record, pure-literal fixing is
+    forced off and learning forced on (see {!Proof}).  The caller owns the writer and must
+    {!Proof.close} it after disposing the session. *)
+val create :
+  ?config:Solver_types.config ->
+  ?validate:bool ->
+  ?proof:Proof.t ->
+  unit ->
+  t
 
 (** Seed a session with an existing formula: its (normalised) quantifier
     forest becomes the session forest — variables keep their ids — and
-    its matrix is added at frame 0. *)
+    its matrix is added at frame 0.  [?proof] as in {!create}. *)
 val of_formula :
-  ?config:Solver_types.config -> ?validate:bool -> Qbf_core.Formula.t -> t
+  ?config:Solver_types.config ->
+  ?validate:bool ->
+  ?proof:Proof.t ->
+  Qbf_core.Formula.t ->
+  t
 
 (** [new_block t ?parent quant] adds an empty quantifier block, at the
     root of the forest when [parent] is omitted. *)
@@ -118,9 +133,13 @@ val var_count : t -> int
 val dispose : t -> unit
 
 (** One-shot convenience: [of_formula] + [solve] + [dispose].
-    Equivalent to the deprecated [Engine.solve]. *)
+    Equivalent to [Engine.solve]; [?proof] as in {!create} (the caller
+    still closes the writer). *)
 val one_shot :
-  ?config:Solver_types.config -> Qbf_core.Formula.t -> Solver_types.result
+  ?config:Solver_types.config ->
+  ?proof:Proof.t ->
+  Qbf_core.Formula.t ->
+  Solver_types.result
 
 (** The backing state, for white-box tests only. *)
 val state_for_testing : t -> State.t

@@ -273,7 +273,18 @@ let with_on_event v = with_observe (fun o -> { o with on_event = v })
 let with_obs v = with_observe (fun o -> { o with obs = v })
 let with_aux_hint v = with_hints (fun _ -> { aux_hint = v })
 
-type result = { outcome : outcome; stats : stats }
+(* Certificate attached to a conclusive result.  [Proof_trace] points at
+   a trace file (see {!Proof}) containing a complete derivation of the
+   outcome — the empty clause for [False], the empty term for [True] —
+   that the independent checker can validate without trusting the
+   solver.  [No_witness] on [Unknown] outcomes, when no proof writer was
+   attached, or when the run concluded through a chronological step the
+   trace format cannot certify. *)
+type witness =
+  | No_witness
+  | Proof_trace of { path : string; steps : int; format_version : int }
+
+type result = { outcome : outcome; stats : stats; witness : witness }
 
 let pp_outcome fmt o =
   Format.pp_print_string fmt

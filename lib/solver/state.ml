@@ -129,6 +129,9 @@ type t = {
   mutable retracted_constraints : int;
       (* constraints deactivated by session pops / cube invalidation,
          kept separate from stats.deleted_constraints (DB reduction) *)
+  mutable proof : Proof.t option;
+      (* attached trace writer (see {!attach_proof}); None = no proof,
+         and every emission site is one option match *)
 }
 
 (* [precedes s v v'] is the paper's z ≺ z' test, eq. (13). *)
@@ -600,6 +603,14 @@ let add_constraint s kind ~learned ?frame ?(lbd = 0) lits =
   let frame = match frame with Some f -> f | None -> s.frame_level in
   let cid = Db.add s.db ~kind ~learned ~frame lits in
   Db.set_lbd s.db cid lbd;
+  (* Input registration: original clauses enter the proof here; learned
+     constraints are registered by Analyze with their derivations. *)
+  (match s.proof with
+  | Some p when (not learned) && kind = Clause_c ->
+      let pid = Proof.fresh_pid p in
+      Db.set_pid s.db cid pid;
+      Proof.input_clause p ~pid (Array.to_list lits)
+  | _ -> ());
   let watch_only = s.use_watches && learned in
   let ue = ref 0 and uu = ref 0 and fixed = ref 0 in
   Array.iter
@@ -759,6 +770,7 @@ let create formula config =
       po_child_max = Array.make nblocks 0.;
       frame_level = 0;
       retracted_constraints = 0;
+      proof = None;
     }
   in
   List.iter
@@ -824,7 +836,17 @@ let retract_constraint s cid =
         s.unsat_originals <- s.unsat_originals - 1
     end;
     drop_from_counters s cid;
-    s.retracted_constraints <- s.retracted_constraints + 1
+    s.retracted_constraints <- s.retracted_constraints + 1;
+    (* The constraint is no longer derivable from the surviving matrix
+       (popped frame, or a term outdated by growth): kill its proof id
+       so the checker rejects any later reference.  DB reduction, by
+       contrast, emits nothing — a reduced constraint stays a valid
+       Q-consequence, the solver merely stops using it. *)
+    match s.proof with
+    | Some p ->
+        let pid = Db.pid s.db cid in
+        if pid > 0 then Proof.retract p ~pid
+    | None -> ()
   end
 
 (* --- compaction --------------------------------------------------------- *)
@@ -1016,4 +1038,36 @@ let extend s prefix =
   if Array.length s.po_block_best < nblocks then begin
     s.po_block_best <- Array.make nblocks 0.;
     s.po_child_max <- Array.make nblocks 0.
-  end
+  end;
+  (* An extension renumbers the DFS timestamps: re-declare every
+     variable so the checker's ≺ relation tracks the grown prefix. *)
+  match s.proof with
+  | Some p ->
+      for v = 0 to nvars - 1 do
+        Proof.declare_var p ~var:v ~exist:s.is_exist.(v) ~d:s.d.(v)
+          ~f:s.f.(v)
+      done
+  | None -> ()
+
+(* Attach a trace writer: declare the current prefix and register every
+   active original clause already in the database.  Constraints added
+   later register themselves ({!add_constraint}, Analyze).  Must be
+   called before any solving so every future antecedent carries a proof
+   id; callers also disable pure-literal fixing (see Proof). *)
+let attach_proof s p =
+  s.proof <- Some p;
+  for v = 0 to s.nvars - 1 do
+    Proof.declare_var p ~var:v ~exist:s.is_exist.(v) ~d:s.d.(v) ~f:s.f.(v)
+  done;
+  for cid = 0 to Db.size s.db - 1 do
+    if
+      Db.active s.db cid
+      && (not (Db.learned s.db cid))
+      && (not (Db.is_cube s.db cid))
+      && Db.pid s.db cid = 0
+    then begin
+      let pid = Proof.fresh_pid p in
+      Db.set_pid s.db cid pid;
+      Proof.input_clause p ~pid (Db.lits_list s.db cid)
+    end
+  done

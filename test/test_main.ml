@@ -14,6 +14,7 @@ let () =
       ("models", Test_models.suite);
       ("bench", Test_bench.suite);
       ("obs", Test_obs.suite);
+      ("proof", Test_proof.suite);
       ("serve", Test_serve.suite);
       ("telemetry", Test_telemetry.suite);
     ]

@@ -24,7 +24,14 @@ let test_dispatch_roundtrip () =
     Protocol.job ~id:7 ~timeout_s:1.5 ~max_nodes:123
       (Qbf_run.Run.Path "foo.qdimacs")
   in
-  let d = { Protocol.d_job = job; d_config = "to-watched"; d_attempt = 3 } in
+  let d =
+    {
+      Protocol.d_job = job;
+      d_config = "to-watched";
+      d_attempt = 3;
+      d_proof = Some "/tmp/p.qrp";
+    }
+  in
   let d' = roundtrip_dispatch d in
   Alcotest.(check int) "id" 7 d'.Protocol.d_job.Protocol.id;
   Alcotest.(check int) "attempt" 3 d'.Protocol.d_attempt;
@@ -35,12 +42,15 @@ let test_dispatch_roundtrip () =
     (d'.Protocol.d_job.Protocol.max_nodes = Some 123);
   Alcotest.(check bool) "mem_mb absent" true
     (d'.Protocol.d_job.Protocol.mem_mb = None);
+  Alcotest.(check bool) "proof path survives" true
+    (d'.Protocol.d_proof = Some "/tmp/p.qrp");
   (* inline sources survive too *)
   let d2 =
     {
       Protocol.d_job = Protocol.job ~id:0 (Qbf_run.Run.Inline "p cnf 0 0");
       d_config = "po-watched";
       d_attempt = 1;
+      d_proof = None;
     }
   in
   let d2' = roundtrip_dispatch d2 in
@@ -57,6 +67,7 @@ let test_answer_roundtrip () =
       a_stopped = None;
       a_decisions = 10;
       a_nodes = 6;
+      a_proof = Some "/tmp/job4.qrp";
       a_error = None;
     }
   in
@@ -66,6 +77,8 @@ let test_answer_roundtrip () =
       Alcotest.(check int) "attempt" 2 a'.Protocol.a_attempt;
       Alcotest.check Util.outcome "outcome" ST.False a'.Protocol.a_outcome;
       Alcotest.(check int) "decisions" 10 a'.Protocol.a_decisions;
+      Alcotest.(check bool) "proof path survives" true
+        (a'.Protocol.a_proof = Some "/tmp/job4.qrp");
       Alcotest.(check bool) "no error" true (a'.Protocol.a_error = None)
   | Ok (Protocol.Msg_heartbeat _ | Protocol.Msg_stats _) ->
       Alcotest.fail "answer decoded as a different frame kind"

@@ -3,7 +3,7 @@
 
      fuzz [--seeds N] [--seed-base S] [--max-seconds T] [-v]
 
-   Per seed, seven phases:
+   Per seed, eight phases:
 
    1. differential: a random QBF (tree or prenex) solved under every
       interesting engine configuration — the 8-way learning x pures x
@@ -39,7 +39,13 @@
 
    7. learned-DB reduction: aggressive reduce-and-compact cycles
       (tiny interval, near-zero keep fraction) vs. the reduction-off
-      engine, both checked against the oracle.
+      engine, both checked against the oracle;
+
+   8. certificates: the formula re-solved under every phase-1
+      configuration with a proof trace attached (Session.one_shot
+      ?proof); every conclusive run must yield a trace the independent
+      checker (Qbf_check.Checker, no solver code) replays successfully
+      against the formula, concluding the same value.
 
    Stops early when --max-seconds is exceeded (the smoke target in
    test/dune runs a 2-second slice on every `dune runtest`).  Exits
@@ -419,6 +425,39 @@ let () =
                  complain seed "DBRED ORACLE MISMATCH [%s] got=%s expected=%b"
                    hname (name on.ST.outcome) expected)
          [ ("TO", ST.Total_order); ("PO", ST.Partial_order) ];
+       (* 8. certificates: every conclusive run must emit a trace the
+          independent checker accepts, with the matching conclusion.
+          The proof path forces pure-literal fixing off, so this also
+          differentially re-tests the no-pures engine. *)
+       (let path = Filename.temp_file "fuzz-proof" ".qrp" in
+        List.iter
+          (fun (cname, config) ->
+            let proof = Qbf_solver.Proof.create ~path in
+            match Qbf_solver.Session.one_shot ~config ~proof f with
+            | r -> (
+                Qbf_solver.Proof.close proof;
+                match (r.ST.outcome, r.ST.witness) with
+                | ST.Unknown, _ -> ()
+                | _, ST.No_witness ->
+                    complain seed "PROOF missing witness [%s]" cname
+                | outcome, ST.Proof_trace _ -> (
+                    match Qbf_check.Checker.check_file ~formula:f path with
+                    | Ok v ->
+                        if
+                          not
+                            (List.mem (outcome = ST.True)
+                               v.Qbf_check.Checker.conclusions)
+                        then
+                          complain seed "PROOF wrong conclusion [%s]" cname
+                    | Error fl ->
+                        complain seed "PROOF rejected [%s] line %d: %s" cname
+                          fl.Qbf_check.Checker.line fl.Qbf_check.Checker.msg))
+            | exception e ->
+                Qbf_solver.Proof.close proof;
+                complain seed "PROOF exception [%s]: %s" cname
+                  (Printexc.to_string e))
+          configs;
+        Sys.remove path);
        (* 6. loader crash-robustness: hostile bytes — bit flips,
           CRLF/CR mangling, binary splices, mid-token truncation,
           duplicated regions — through both loaders, both with format

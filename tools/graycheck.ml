@@ -1,7 +1,35 @@
+(* Cross-check the shift (gray-code) families three ways: the explicit
+   BFS oracle, the full diameter iteration, and direct one-shot solves
+   of phi_{d-1} (must be true) and phi_d (must be false) through
+   Session.one_shot.  Exits nonzero on any disagreement. *)
+
+module ST = Qbf_solver.Solver_types
+
 let () =
-  List.iter (fun name ->
-    let m = Qbf_models.Families.by_name name in
-    Printf.printf "%s: bfs=%d reach=%d qbf=%s\n%!" name
-      (Qbf_models.Reach.diameter m) (Qbf_models.Reach.num_reachable m)
-      (match Qbf_models.Diameter.compute m with Some d -> string_of_int d | None -> "?"))
-    ["shift3"; "shift4"; "shift5"]
+  let bad = ref false in
+  List.iter
+    (fun name ->
+      let m = Qbf_models.Families.by_name name in
+      let bfs = Qbf_models.Reach.diameter m in
+      let qbf =
+        match Qbf_models.Diameter.compute m with
+        | Some d -> string_of_int d
+        | None -> "?"
+      in
+      let solve n =
+        let r = Qbf_solver.Session.one_shot (Qbf_models.Diameter.phi m ~n) in
+        r.ST.outcome
+      in
+      let below = if bfs > 0 then solve (bfs - 1) else ST.True in
+      let at = solve bfs in
+      Printf.printf "%s: bfs=%d reach=%d qbf=%s phi_%d=%s phi_%d=%s\n%!" name
+        bfs
+        (Qbf_models.Reach.num_reachable m)
+        qbf (bfs - 1)
+        (Qbf_solver.Outcome.to_string below)
+        bfs
+        (Qbf_solver.Outcome.to_string at);
+      if qbf <> string_of_int bfs || below <> ST.True || at <> ST.False then
+        bad := true)
+    [ "shift3"; "shift4"; "shift5" ];
+  exit (if !bad then 1 else 0)

@@ -1,7 +1,19 @@
-let t s = match Qbf_io.Nqdimacs.parse_string s with
-  | _ -> Printf.printf "PARSED OK: %S\n" s
+(* Quick NQDIMACS parser probe: each snippet either parses (and is then
+   decided through Session.one_shot, the supported one-shot entry
+   point) or reports its structured parse error. *)
+
+module ST = Qbf_solver.Solver_types
+
+let t s =
+  match Qbf_io.Nqdimacs.parse_string s with
+  | f ->
+      let r = Qbf_solver.Session.one_shot f in
+      Printf.printf "PARSED OK (%s): %S\n"
+        (Qbf_solver.Outcome.to_string r.ST.outcome)
+        s
   | exception Qbf_io.Nqdimacs.Parse_error m -> Printf.printf "error(%s): %S\n" m s
   | exception e -> Printf.printf "OTHER %s: %S\n" (Printexc.to_string e) s
+
 let () =
   t "p ncnf 2 1\nt (e 1 (a 2)\n1 2 0\n";
   t "p ncnf 2 1\nt (x 1 2)\n1 0\n";

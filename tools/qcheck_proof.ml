@@ -1,0 +1,41 @@
+(* qcheck_proof FORMULA PROOF
+
+   Replay a qproof trace against the original QDIMACS/NQDIMACS formula
+   with the independent checker (Qbf_check.Checker).  Exit codes:
+
+     0  the trace is a valid certificate (every record checks, at least
+        one conclusion)
+     1  invalid: the first failing record is reported on stderr
+     2  usage or I/O error
+
+   On success the conclusions are printed ("true"/"false", one per
+   solve of the emitting session) so callers can cross-check the
+   certified outcome against the solver's answer. *)
+
+let usage () =
+  prerr_endline "usage: qcheck_proof FORMULA PROOF";
+  exit 2
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--")
+  in
+  let formula_path, proof_path =
+    match args with [ f; p ] -> (f, p) | _ -> usage ()
+  in
+  match Qbf_check.Checker.check_against ~formula_path proof_path with
+  | Ok { conclusions = []; steps = _ } ->
+      prerr_endline "qcheck_proof: trace has no conclusion";
+      exit 1
+  | Ok { conclusions; steps } ->
+      Printf.printf "s qproof valid: %s (%d steps)\n"
+        (String.concat "," (List.map string_of_bool conclusions))
+        steps;
+      exit 0
+  | Error { line = 0; msg } ->
+      Printf.eprintf "qcheck_proof: %s\n" msg;
+      exit 2
+  | Error { line; msg } ->
+      Printf.eprintf "qcheck_proof: %s:%d: %s\n" proof_path line msg;
+      exit 1
